@@ -1,0 +1,57 @@
+//! Experiment A2 (paper conclusion, open challenge 3): gateways-per-
+//! chiplet sweep. More gateways buy inter-chiplet bandwidth at laser,
+//! tuning, and MRG-footprint cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_core::{Platform, PlatformConfig, Runner};
+
+fn sweep() {
+    println!("\n=== A2: gateways-per-chiplet sweep (2.5D-SiPh, VGG-16) ===");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>14}",
+        "gw", "lat (ms)", "P (W)", "EPB (nJ/b)", "net rings"
+    );
+    for gateways in [1usize, 2, 4, 6, 8] {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.gateways_per_chiplet = gateways;
+        let rings = cfg.phnet.total_rings();
+        match Runner::new(cfg).run(&Platform::Siph2p5D, &lumos_dnn::zoo::vgg16()) {
+            Ok(r) => println!(
+                "{:<8} {:>12.3} {:>10.1} {:>12.3} {:>14}",
+                gateways,
+                r.latency_ms(),
+                r.avg_power_w(),
+                r.epb_nj(),
+                rings
+            ),
+            Err(e) => println!("{gateways:<8} infeasible: {e}"),
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let mut group = c.benchmark_group("ablation_gateways");
+    group.sample_size(10);
+    for gateways in [1usize, 4] {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.gateways_per_chiplet = gateways;
+        let runner = Runner::new(cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gateways),
+            &gateways,
+            |b, _| {
+                b.iter(|| {
+                    runner
+                        .run(&Platform::Siph2p5D, &lumos_dnn::zoo::vgg16())
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

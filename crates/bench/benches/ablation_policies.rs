@@ -1,0 +1,68 @@
+//! Experiment A3: reconfiguration-policy ablation — ReSiPI gateway
+//! activation vs PROWAVES wavelength scaling vs static corners, averaged
+//! over the Table 2 models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_core::{Platform, PlatformConfig, Runner};
+use lumos_phnet::ReconfigPolicy;
+
+const POLICIES: [(ReconfigPolicy, &str); 4] = [
+    (ReconfigPolicy::ResipiGateways, "resipi"),
+    (ReconfigPolicy::ProwavesWavelengths, "prowaves"),
+    (ReconfigPolicy::StaticFull, "static_full"),
+    (ReconfigPolicy::StaticMin, "static_min"),
+];
+
+fn sweep() {
+    println!("\n=== A3: reconfiguration policies (2.5D-SiPh, Table 2 average) ===");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12}",
+        "policy", "lat (ms)", "P (W)", "EPB (nJ/b)"
+    );
+    for (policy, name) in POLICIES {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.policy = policy;
+        let runner = Runner::new(cfg);
+        let models = lumos_dnn::zoo::table2_models();
+        let (mut lat, mut p, mut epb) = (0.0, 0.0, 0.0);
+        for model in &models {
+            let r = runner
+                .run(&Platform::Siph2p5D, model)
+                .expect("feasible");
+            lat += r.latency_ms();
+            p += r.avg_power_w();
+            epb += r.epb_nj();
+        }
+        let n = models.len() as f64;
+        println!(
+            "{:<14} {:>12.3} {:>10.1} {:>12.3}",
+            name,
+            lat / n,
+            p / n,
+            epb / n
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(10);
+    for (policy, name) in POLICIES {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.policy = policy;
+        let runner = Runner::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, _| {
+            b.iter(|| {
+                runner
+                    .run(&Platform::Siph2p5D, &lumos_dnn::zoo::densenet121())
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

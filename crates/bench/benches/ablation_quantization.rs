@@ -1,0 +1,75 @@
+//! Extension ablation: heterogeneous quantization (paper §III, [22]) on
+//! the photonic platform — interposer traffic and latency vs per-layer
+//! bit-width policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_core::{Platform, PlatformConfig, Runner};
+use lumos_dnn::quantization::{extract_quantized_workloads, QuantPolicy, QuantizationScheme};
+
+const POLICIES: [(&str, QuantPolicy); 3] = [
+    ("uniform8", QuantPolicy::Uniform { bits: 8 }),
+    (
+        "edges8_4",
+        QuantPolicy::EdgesHigh {
+            edge_bits: 8,
+            interior_bits: 4,
+        },
+    ),
+    (
+        "traffic8_4",
+        QuantPolicy::TrafficAware {
+            max_bits: 8,
+            min_bits: 4,
+        },
+    ),
+];
+
+fn sweep() {
+    println!("\n=== quantization ablation (2.5D-SiPh) ===");
+    println!(
+        "{:<14} {:<12} {:>12} {:>12} {:>12}",
+        "model", "policy", "traffic(Gb)", "lat (ms)", "EPB (nJ/b)"
+    );
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    for model in [lumos_dnn::zoo::vgg16(), lumos_dnn::zoo::resnet50()] {
+        for (name, policy) in POLICIES {
+            let scheme = QuantizationScheme::assign(&model, policy);
+            let work = extract_quantized_workloads(&model, &scheme);
+            let r = runner
+                .run_workloads(&Platform::Siph2p5D, model.name(), &work)
+                .expect("feasible");
+            println!(
+                "{:<14} {:<12} {:>12.3} {:>12.3} {:>12.3}",
+                model.name(),
+                name,
+                r.bits_moved as f64 / 1e9,
+                r.latency_ms(),
+                r.epb_nj()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let model = lumos_dnn::zoo::resnet50();
+    let mut group = c.benchmark_group("ablation_quantization");
+    group.sample_size(10);
+    for (name, policy) in POLICIES {
+        let scheme = QuantizationScheme::assign(&model, policy);
+        let work = extract_quantized_workloads(&model, &scheme);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &work, |b, w| {
+            b.iter(|| {
+                runner
+                    .run_workloads(&Platform::Siph2p5D, "resnet50", w)
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

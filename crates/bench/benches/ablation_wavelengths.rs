@@ -1,0 +1,58 @@
+//! Experiment A1 (paper conclusion, open challenge 3): wavelength-count
+//! sweep. Prints the latency/power trade for 8..64 wavelengths on
+//! ResNet-50 and VGG-16, then benchmarks representative points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_core::{Platform, PlatformConfig, Runner};
+
+fn sweep() {
+    println!("\n=== A1: wavelength sweep (2.5D-SiPh) ===");
+    println!(
+        "{:<8} {:<14} {:>12} {:>10} {:>12}",
+        "λ", "model", "lat (ms)", "P (W)", "EPB (nJ/b)"
+    );
+    for wavelengths in [8usize, 16, 32, 48, 64] {
+        for model in [lumos_dnn::zoo::resnet50(), lumos_dnn::zoo::vgg16()] {
+            let mut cfg = PlatformConfig::paper_table1();
+            cfg.phnet.wavelengths = wavelengths;
+            match Runner::new(cfg).run(&Platform::Siph2p5D, &model) {
+                Ok(r) => println!(
+                    "{:<8} {:<14} {:>12.3} {:>10.1} {:>12.3}",
+                    wavelengths,
+                    model.name(),
+                    r.latency_ms(),
+                    r.avg_power_w(),
+                    r.epb_nj()
+                ),
+                Err(e) => println!("{:<8} {:<14} infeasible: {e}", wavelengths, model.name()),
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let mut group = c.benchmark_group("ablation_wavelengths");
+    group.sample_size(10);
+    for wavelengths in [16usize, 64] {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.wavelengths = wavelengths;
+        let runner = Runner::new(cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(wavelengths),
+            &wavelengths,
+            |b, _| {
+                b.iter(|| {
+                    runner
+                        .run(&Platform::Siph2p5D, &lumos_dnn::zoo::resnet50())
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

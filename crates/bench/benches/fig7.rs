@@ -1,0 +1,61 @@
+//! Experiments F7a/F7b/F7c: regenerates the three series of Fig. 7
+//! (normalized power, total latency, and energy-per-bit per model) and
+//! benchmarks the per-model simulation paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::run_full_evaluation;
+use lumos_core::{Platform, PlatformConfig, Runner};
+
+fn print_fig7() {
+    let cfg = PlatformConfig::paper_table1();
+    let (reports, _) = run_full_evaluation(&cfg);
+    let titles = [
+        "Fig. 7(a) normalized power",
+        "Fig. 7(b) normalized total latency",
+        "Fig. 7(c) normalized energy-per-bit",
+    ];
+    let metrics: [fn(&lumos_core::RunReport) -> f64; 3] = [
+        |r| r.avg_power_w(),
+        |r| r.latency_ms(),
+        |r| r.epb_nj(),
+    ];
+    for (title, metric) in titles.iter().zip(metrics) {
+        println!("\n=== {title} (mono = 1.0) ===");
+        println!("{:<14} {:>10} {:>10} {:>10}", "Model", "mono", "elec", "siph");
+        for ((mono, elec), siph) in reports[0].iter().zip(&reports[1]).zip(&reports[2]) {
+            let base = metric(mono);
+            println!(
+                "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+                mono.model,
+                1.0,
+                metric(elec) / base,
+                metric(siph) / base
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_fig7();
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for (name, model) in [
+        ("lenet5", lumos_dnn::zoo::lenet5()),
+        ("mobilenet_v2", lumos_dnn::zoo::mobilenet_v2()),
+        ("vgg16", lumos_dnn::zoo::vgg16()),
+    ] {
+        for platform in Platform::all() {
+            group.bench_with_input(
+                BenchmarkId::new(platform.label(), name),
+                &model,
+                |b, m| b.iter(|| runner.run(&platform, m).expect("feasible")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

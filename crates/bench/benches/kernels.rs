@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the simulator's hot kernels: event queue, FIFO
+//! bandwidth servers, mesh routing under contention, the photonic
+//! link-budget solver, model-zoo construction, and workload extraction.
+//!
+//! These track the *simulator's* performance (so regressions in the
+//! substrate show up in CI), not the paper's metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_dnn::workload::{extract_workloads, Precision};
+use lumos_photonics::prelude::*;
+use lumos_sim::{BandwidthServer, EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernels/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_ps(i * 37 % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_bandwidth_server(c: &mut Criterion) {
+    c.bench_function("kernels/bandwidth_server_10k_grants", |b| {
+        b.iter(|| {
+            let mut s = BandwidthServer::new(768.0);
+            let mut fin = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                fin = s.serve(SimTime::from_ns(i), 4096).finish;
+            }
+            fin
+        })
+    });
+}
+
+fn bench_mesh_contention(c: &mut Criterion) {
+    use lumos_noc::{Coord, MeshNetwork};
+    c.bench_function("kernels/mesh_1k_hotspot_transfers", |b| {
+        b.iter(|| {
+            let mut net = MeshNetwork::paper_table1(3, 3, 8.0);
+            let centre = Coord::new(1, 1);
+            let mut fin = SimTime::ZERO;
+            for i in 0..1_000u32 {
+                let src = Coord::new(i % 3, (i / 3) % 3);
+                if src != centre {
+                    fin = net.transfer(SimTime::ZERO, src, centre, 10_000).finish;
+                }
+            }
+            fin
+        })
+    });
+}
+
+fn bench_link_solver(c: &mut Criterion) {
+    let budget = LinkBudget::new()
+        .stage("coupler", Decibels::new(1.5))
+        .stage("path", Decibels::new(20.0))
+        .stage("drop", Decibels::new(1.0));
+    let modulator = Modulator::typical(ModulationFormat::Ook);
+    let detector = Photodetector::typical();
+    let laser = Laser::new(LaserPlacement::OffChip, 64);
+    c.bench_function("kernels/link_budget_solve_64ch", |b| {
+        b.iter(|| {
+            solve_link(
+                &budget,
+                &ChannelPlan::dense(64),
+                12.0,
+                &modulator,
+                &detector,
+                &laser,
+                12_000,
+                25.0,
+            )
+            .expect("feasible")
+        })
+    });
+}
+
+fn bench_zoo(c: &mut Criterion) {
+    c.bench_function("kernels/build_resnet50_graph", |b| {
+        b.iter(lumos_dnn::zoo::resnet50)
+    });
+    let model = lumos_dnn::zoo::densenet121();
+    c.bench_function("kernels/extract_workloads_densenet121", |b| {
+        b.iter(|| extract_workloads(&model, Precision::int8()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_bandwidth_server,
+    bench_mesh_contention,
+    bench_link_solver,
+    bench_zoo
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment T3/X1: regenerates Table 3 (average power, latency, and
+//! energy-per-bit across the three platforms) and benchmarks the full
+//! evaluation pipeline.
+//!
+//! The table rows print once before timing starts, so
+//! `cargo bench -p lumos-bench --bench table3` both reproduces the
+//! artifact and tracks simulator performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_bench::{ratio, run_full_evaluation};
+use lumos_core::reference::{LITERATURE, PAPER_SIMULATED};
+use lumos_core::{Platform, PlatformConfig, Runner};
+
+fn print_table3() {
+    let cfg = PlatformConfig::paper_table1();
+    let (_, summaries) = run_full_evaluation(&cfg);
+    println!("\n=== TABLE 3 (regenerated) ===");
+    println!(
+        "{:<28} {:>10} {:>13} {:>12}",
+        "", "Power (W)", "Latency (ms)", "EPB (nJ/bit)"
+    );
+    for s in &summaries {
+        println!(
+            "{:<28} {:>10.1} {:>13.3} {:>12.2}",
+            s.platform.label(),
+            s.avg_power_w,
+            s.avg_latency_ms,
+            s.avg_epb_nj
+        );
+    }
+    for r in PAPER_SIMULATED.iter().chain(LITERATURE.iter()) {
+        println!(
+            "{:<28} {:>10.1} {:>13.3} {:>12.2}   [cited]",
+            r.name, r.power_w, r.latency_ms, r.epb_nj
+        );
+    }
+    let (mono, elec, siph) = (&summaries[0], &summaries[1], &summaries[2]);
+    println!(
+        "ratios: mono/siph latency {}, EPB {}; elec/siph latency {}, EPB {} (paper: 6.6x, 2.8x, 34x, 15.8x)\n",
+        ratio(mono.avg_latency_ms, siph.avg_latency_ms),
+        ratio(mono.avg_epb_nj, siph.avg_epb_nj),
+        ratio(elec.avg_latency_ms, siph.avg_latency_ms),
+        ratio(elec.avg_epb_nj, siph.avg_epb_nj),
+    );
+}
+
+fn bench_table3(c: &mut Criterion) {
+    print_table3();
+    let cfg = PlatformConfig::paper_table1();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("full_evaluation_15_runs", |b| {
+        b.iter(|| run_full_evaluation(&cfg))
+    });
+    let runner = Runner::new(cfg);
+    group.bench_function("resnet50_on_siph", |b| {
+        b.iter(|| {
+            runner
+                .run(&Platform::Siph2p5D, &lumos_dnn::zoo::resnet50())
+                .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

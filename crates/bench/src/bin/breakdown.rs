@@ -1,0 +1,51 @@
+//! Diagnostic: per-model, per-platform latency and energy breakdowns.
+//!
+//! ```text
+//! cargo run -p lumos-bench --bin breakdown
+//! ```
+
+use lumos_bench::run_full_evaluation;
+use lumos_core::PlatformConfig;
+
+fn main() {
+    let cfg = PlatformConfig::paper_table1();
+    {
+        use lumos_phnet::network::PhotonicInterposer;
+        let net = PhotonicInterposer::new(cfg.phnet.clone()).expect("feasible");
+        println!(
+            "SWMR: loss {:.1} dB, laser {:.2} W/tree × {}; SWSR: loss {:.1} dB, laser {:.2} W/gw × {}",
+            net.swmr_design().total_loss_db,
+            net.swmr_design().laser_electrical_w,
+            cfg.phnet.memory_tx_gateways,
+            net.swsr_design().total_loss_db,
+            net.swsr_design().laser_electrical_w,
+            cfg.phnet.total_compute_gateways(),
+        );
+        println!(
+            "phnet static full: {:.1} W, min: n/a",
+            net.static_power_of(net.active_set())
+        );
+    }
+    let (reports, _) = run_full_evaluation(&cfg);
+    for platform_reports in &reports {
+        println!("=== {} ===", platform_reports[0].platform.label());
+        println!(
+            "{:<14} {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "model", "lat(ms)", "P(W)", "EPB(nJ)", "mac(mJ)", "net(mJ)", "mem(mJ)", "dig(mJ)", "comm%"
+        );
+        for r in platform_reports {
+            println!(
+                "{:<14} {:>10.3} {:>8.1} {:>9.3} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.0}%",
+                r.model,
+                r.latency_ms(),
+                r.avg_power_w(),
+                r.epb_nj(),
+                r.energy.mac_j * 1e3,
+                r.energy.network_j * 1e3,
+                r.energy.memory_j * 1e3,
+                r.energy.digital_j * 1e3,
+                r.comm_bound_fraction() * 100.0
+            );
+        }
+    }
+}

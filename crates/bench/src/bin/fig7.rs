@@ -1,0 +1,58 @@
+//! Regenerates the paper's Fig. 7: per-model normalized (a) power,
+//! (b) total latency, and (c) energy-per-bit for the three platforms
+//! (DESIGN.md experiments F7a/F7b/F7c).
+//!
+//! Values are normalized per model to the monolithic CrossLight
+//! baseline (=1.0), matching the figure's presentation.
+//!
+//! ```text
+//! cargo run -p lumos-bench --bin fig7
+//! ```
+
+use lumos_bench::run_full_evaluation;
+use lumos_core::{Platform, PlatformConfig, RunReport};
+
+fn main() {
+    let cfg = PlatformConfig::paper_table1();
+    let (reports, _) = run_full_evaluation(&cfg);
+    let [mono, elec, siph] = [&reports[0], &reports[1], &reports[2]];
+
+    print_series("Fig. 7(a): normalized power consumption", mono, elec, siph, |r| {
+        r.avg_power_w()
+    });
+    println!();
+    print_series("Fig. 7(b): normalized total latency", mono, elec, siph, |r| {
+        r.latency_ms()
+    });
+    println!();
+    print_series("Fig. 7(c): normalized energy-per-bit", mono, elec, siph, |r| {
+        r.epb_nj()
+    });
+}
+
+fn print_series(
+    title: &str,
+    mono: &[RunReport],
+    elec: &[RunReport],
+    siph: &[RunReport],
+    metric: impl Fn(&RunReport) -> f64,
+) {
+    println!("{title}");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Model",
+        Platform::Monolithic.label(),
+        "2.5D-Elec",
+        "2.5D-SiPh"
+    );
+    for i in 0..mono.len() {
+        let base = metric(&mono[i]);
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>12.3}",
+            mono[i].model,
+            1.0,
+            metric(&elec[i]) / base,
+            metric(&siph[i]) / base
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Regenerates the paper's Tables 1, 2, and 3 (DESIGN.md experiments
+//! T1, T2, T3, X1).
+//!
+//! ```text
+//! cargo run -p lumos-bench --bin tables            # all tables
+//! cargo run -p lumos-bench --bin tables -- table3  # one table
+//! ```
+
+use lumos_bench::{ratio, run_full_evaluation};
+use lumos_core::config::MacClass;
+use lumos_core::reference::{LITERATURE, PAPER_SIMULATED};
+use lumos_core::PlatformConfig;
+use lumos_dnn::zoo;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let cfg = PlatformConfig::paper_table1();
+    match which.as_str() {
+        "table1" => table1(&cfg),
+        "table2" => table2(),
+        "table3" => table3(&cfg),
+        "all" => {
+            table1(&cfg);
+            println!();
+            table2();
+            println!();
+            table3(&cfg);
+        }
+        other => {
+            eprintln!("unknown table '{other}', expected table1|table2|table3|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1(cfg: &PlatformConfig) {
+    println!("TABLE 1. MODELING PARAMETERS");
+    println!("{:<48} Value", "Parameter");
+    println!(
+        "{:<48} {} Gb/s",
+        "Data rate of optical link (per wavelength)", cfg.phnet.rate_gbps
+    );
+    println!(
+        "{:<48} {} GHz",
+        "Gateway frequency", cfg.phnet.gateway_freq_ghz
+    );
+    println!("{:<48} 128 bits", "Electrical network-on-chip link width");
+    println!("{:<48} 2 GHz", "Electrical network-on-chip frequency");
+    println!("{:<48} {}", "Number of wavelengths", cfg.phnet.wavelengths);
+    println!("{:<48} {}", "Number of memory-chiplets", cfg.memory_chiplets);
+    println!(
+        "{:<48} {}",
+        "Number of compute-chiplets",
+        cfg.compute_chiplets()
+    );
+    for (label, class) in [
+        ("100 unit dense MAC", MacClass::Dense100),
+        ("7x7 convolution MAC", MacClass::Conv7),
+        ("5x5 convolution MAC", MacClass::Conv5),
+        ("3x3 convolution MAC", MacClass::Conv3),
+    ] {
+        let c = cfg.class(class);
+        println!("{label}:");
+        println!("{:<48} {}", "  Number of chiplets", c.chiplets);
+        println!("{:<48} {}", "  Number of MACs per chiplet", c.macs_per_chiplet);
+        println!("{:<48} {}", "  Number of MACs per gateway", c.macs_per_gateway);
+    }
+}
+
+fn table2() {
+    println!("TABLE 2. CONSIDERED DNN MODELS IN OUR EVALUATION.");
+    println!(
+        "{:<16} {:>12} {:>10} {:>14}",
+        "Model", "CONV layers", "FC layers", "Parameters"
+    );
+    for m in zoo::table2_models() {
+        println!(
+            "{:<16} {:>12} {:>10} {:>14}",
+            m.name(),
+            m.conv_layer_count(),
+            m.fc_layer_count(),
+            m.param_count()
+        );
+    }
+}
+
+fn table3(cfg: &PlatformConfig) {
+    let (_, summaries) = run_full_evaluation(cfg);
+    println!("TABLE 3. AVERAGE POWER, LATENCY, AND ENERGY-PER-BIT");
+    println!(
+        "{:<28} {:>10} {:>13} {:>12}",
+        "", "Power (W)", "Latency (ms)", "EPB (nJ/bit)"
+    );
+    println!("--- simulated by LUMOS ---");
+    for s in &summaries {
+        println!(
+            "{:<28} {:>10.1} {:>13.3} {:>12.2}",
+            s.platform.label(),
+            s.avg_power_w,
+            s.avg_latency_ms,
+            s.avg_epb_nj
+        );
+    }
+    println!("--- paper's values for the same platforms ---");
+    for r in PAPER_SIMULATED {
+        println!(
+            "{:<28} {:>10.1} {:>13.3} {:>12.2}",
+            r.name, r.power_w, r.latency_ms, r.epb_nj
+        );
+    }
+    println!("--- cited hardware rows (from the paper, not simulated) ---");
+    for r in LITERATURE {
+        println!(
+            "{:<28} {:>10.1} {:>13.3} {:>12.2}",
+            r.name, r.power_w, r.latency_ms, r.epb_nj
+        );
+    }
+
+    let (mono, elec, siph) = (&summaries[0], &summaries[1], &summaries[2]);
+    println!();
+    println!("Headline ratios (paper: 6.6x, 2.8x, 34x, 15.8x):");
+    println!(
+        "  SiPh vs monolithic:  {} lower latency, {} lower EPB",
+        ratio(mono.avg_latency_ms, siph.avg_latency_ms),
+        ratio(mono.avg_epb_nj, siph.avg_epb_nj)
+    );
+    println!(
+        "  SiPh vs electrical:  {} lower latency, {} lower EPB",
+        ratio(elec.avg_latency_ms, siph.avg_latency_ms),
+        ratio(elec.avg_epb_nj, siph.avg_epb_nj)
+    );
+}

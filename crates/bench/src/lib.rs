@@ -1,0 +1,54 @@
+//! # lumos-bench — harnesses regenerating every table and figure
+//!
+//! Shared helpers for the binaries (`tables`, `fig7`) and criterion
+//! benches that reproduce the paper's evaluation artifacts. See
+//! DESIGN.md §4 for the experiment index.
+
+use lumos_core::{summarize, Platform, PlatformConfig, PlatformSummary, RunReport, Runner};
+
+/// Runs all five Table 2 models on all three platforms.
+///
+/// Returns `(per-platform reports, per-platform summaries)` in the
+/// paper's platform order (CrossLight, 2.5D-Elec, 2.5D-SiPh).
+///
+/// # Panics
+///
+/// Panics if any simulation fails — the Table 1 configuration is
+/// feasible by construction, so a failure is a bug worth crashing on in
+/// a harness.
+pub fn run_full_evaluation(cfg: &PlatformConfig) -> (Vec<Vec<RunReport>>, Vec<PlatformSummary>) {
+    let runner = Runner::new(cfg.clone());
+    let mut all_reports = Vec::new();
+    let mut summaries = Vec::new();
+    for platform in Platform::all() {
+        let reports = runner
+            .run_table2(&platform)
+            .expect("Table 1 configuration must simulate");
+        summaries.push(summarize(platform, &reports));
+        all_reports.push(reports);
+    }
+    (all_reports, summaries)
+}
+
+/// Formats a ratio as the paper quotes them (`6.6x`).
+pub fn ratio(num: f64, den: f64) -> String {
+    format!("{:.1}x", num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_evaluation_runs() {
+        let (reports, summaries) = run_full_evaluation(&PlatformConfig::paper_table1());
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.len() == 5));
+        assert_eq!(summaries.len(), 3);
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(33.0, 5.0), "6.6x");
+    }
+}

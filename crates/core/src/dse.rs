@@ -1,0 +1,220 @@
+//! Design-space exploration (the paper's open challenge 3).
+//!
+//! "The silicon photonic 2.5D DNN accelerator architecture requires
+//! design-space exploration (e.g., in terms of the number of
+//! wavelengths, number of gateways per chiplet, and number of MACs per
+//! chiplet) to create an optimized architecture tailored to DNNs of
+//! interest." — paper §VII.
+//!
+//! This module sweeps those axes over the photonic platform and extracts
+//! Pareto-optimal configurations.
+
+use lumos_dnn::Model;
+
+use crate::config::PlatformConfig;
+use crate::platform::Platform;
+use crate::runner::Runner;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// Wavelengths per gateway.
+    pub wavelengths: usize,
+    /// Gateways per compute chiplet.
+    pub gateways: usize,
+    /// MAC-count scale factor applied to every chiplet class.
+    pub mac_scale: f64,
+    /// End-to-end latency, milliseconds.
+    pub latency_ms: f64,
+    /// Time-averaged power, watts.
+    pub power_w: f64,
+    /// Energy per bit, nanojoules.
+    pub epb_nj: f64,
+    /// Whether the photonic link budget closed for this point.
+    pub feasible: bool,
+}
+
+/// The swept axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseAxes {
+    /// Wavelength counts to try.
+    pub wavelengths: Vec<usize>,
+    /// Gateways-per-chiplet values to try.
+    pub gateways: Vec<usize>,
+    /// MAC-count scale factors to try (1.0 = Table 1).
+    pub mac_scales: Vec<f64>,
+}
+
+impl DseAxes {
+    /// The sweep used by the `design_space` example and ablation benches.
+    pub fn paper_conclusion() -> Self {
+        DseAxes {
+            wavelengths: vec![16, 32, 64],
+            gateways: vec![1, 2, 4],
+            mac_scales: vec![0.5, 1.0],
+        }
+    }
+}
+
+/// Applies a MAC scale factor to every chiplet class, keeping gateway
+/// divisibility intact (counts round to the nearest multiple of the
+/// class's MACs-per-gateway, minimum one group).
+fn scale_macs(cfg: &mut PlatformConfig, scale: f64) {
+    for class_cfg in [
+        &mut cfg.dense,
+        &mut cfg.conv7,
+        &mut cfg.conv5,
+        &mut cfg.conv3,
+    ] {
+        let per_gw = class_cfg.macs_per_gateway;
+        let target = (class_cfg.macs_per_chiplet as f64 * scale).round() as usize;
+        let groups = (target / per_gw).max(1);
+        class_cfg.macs_per_chiplet = groups * per_gw;
+    }
+}
+
+/// Sweeps `axes` on the photonic platform for one model.
+///
+/// Infeasible points (link budget fails) are reported with
+/// `feasible = false` and NaN metrics rather than dropped — knowing
+/// *where* the laser/crosstalk wall sits is part of the exploration.
+pub fn sweep(base: &PlatformConfig, axes: &DseAxes, model: &Model) -> Vec<DsePoint> {
+    let mut out = Vec::new();
+    for &wavelengths in &axes.wavelengths {
+        for &gateways in &axes.gateways {
+            for &mac_scale in &axes.mac_scales {
+                let mut cfg = base.clone();
+                cfg.phnet.wavelengths = wavelengths;
+                cfg.phnet.gateways_per_chiplet = gateways;
+                scale_macs(&mut cfg, mac_scale);
+                let point = match Runner::new(cfg).run(&Platform::Siph2p5D, model) {
+                    Ok(r) => DsePoint {
+                        wavelengths,
+                        gateways,
+                        mac_scale,
+                        latency_ms: r.latency_ms(),
+                        power_w: r.avg_power_w(),
+                        epb_nj: r.epb_nj(),
+                        feasible: true,
+                    },
+                    Err(_) => DsePoint {
+                        wavelengths,
+                        gateways,
+                        mac_scale,
+                        latency_ms: f64::NAN,
+                        power_w: f64::NAN,
+                        epb_nj: f64::NAN,
+                        feasible: false,
+                    },
+                };
+                out.push(point);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the Pareto front of feasible points on (latency, power),
+/// sorted by latency.
+pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
+    let feasible: Vec<&DsePoint> = points.iter().filter(|p| p.feasible).collect();
+    let mut front: Vec<DsePoint> = feasible
+        .iter()
+        .filter(|p| {
+            !feasible.iter().any(|q| {
+                (q.latency_ms < p.latency_ms && q.power_w <= p.power_w)
+                    || (q.latency_ms <= p.latency_ms && q.power_w < p.power_w)
+            })
+        })
+        .map(|p| (*p).clone())
+        .collect();
+    front.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_dnn::zoo;
+
+    fn small_axes() -> DseAxes {
+        DseAxes {
+            wavelengths: vec![16, 64],
+            gateways: vec![1, 4],
+            mac_scales: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn sweep_covers_product_of_axes() {
+        let points = sweep(
+            &PlatformConfig::paper_table1(),
+            &small_axes(),
+            &zoo::lenet5(),
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.feasible));
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_sorted() {
+        let points = sweep(
+            &PlatformConfig::paper_table1(),
+            &small_axes(),
+            &zoo::resnet50(),
+        );
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for pair in front.windows(2) {
+            assert!(pair[0].latency_ms <= pair[1].latency_ms);
+            // Along the front, more latency must buy less power.
+            assert!(pair[0].power_w >= pair[1].power_w);
+        }
+        for p in &front {
+            for q in &points {
+                if q.feasible {
+                    assert!(
+                        !(q.latency_ms < p.latency_ms && q.power_w < p.power_w),
+                        "front point dominated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mac_scaling_respects_gateway_grouping() {
+        let mut cfg = PlatformConfig::paper_table1();
+        scale_macs(&mut cfg, 0.5);
+        // conv3: 44 MACs, 11/gateway -> 22 stays divisible by 11.
+        assert_eq!(cfg.conv3.macs_per_chiplet % cfg.conv3.macs_per_gateway, 0);
+        assert_eq!(cfg.conv3.macs_per_chiplet, 22);
+        // dense: 4 MACs, 1/gateway -> 2.
+        assert_eq!(cfg.dense.macs_per_chiplet, 2);
+        cfg.validate().expect("scaled config stays valid");
+    }
+
+    #[test]
+    fn halving_macs_increases_compute_bound_latency() {
+        let base = PlatformConfig::paper_table1();
+        let axes = DseAxes {
+            wavelengths: vec![64],
+            gateways: vec![4],
+            mac_scales: vec![0.5, 1.0],
+        };
+        let points = sweep(&base, &axes, &zoo::vgg16());
+        let half = &points[0];
+        let full = &points[1];
+        assert!(half.latency_ms > full.latency_ms);
+    }
+
+    #[test]
+    fn infeasible_points_flagged_not_dropped() {
+        let mut base = PlatformConfig::paper_table1();
+        base.phnet.max_laser_dbm = -10.0; // nothing closes
+        let points = sweep(&base, &small_axes(), &zoo::lenet5());
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| !p.feasible));
+        assert!(pareto_front(&points).is_empty());
+    }
+}

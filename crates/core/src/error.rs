@@ -1,0 +1,76 @@
+//! Error types of the platform simulator.
+
+use std::fmt;
+
+use lumos_photonics::link::LinkError;
+
+/// Errors produced when building or running a platform simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The photonic interposer design point is not optically feasible.
+    InfeasiblePhotonics(LinkError),
+    /// A workload layer cannot be mapped onto any MAC class of the
+    /// platform.
+    UnmappableLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The platform configuration is internally inconsistent.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InfeasiblePhotonics(e) => {
+                write!(f, "photonic interposer infeasible: {e}")
+            }
+            CoreError::UnmappableLayer { layer, reason } => {
+                write!(f, "cannot map layer '{layer}': {reason}")
+            }
+            CoreError::BadConfig { reason } => write!(f, "invalid platform config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InfeasiblePhotonics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinkError> for CoreError {
+    fn from(e: LinkError) -> Self {
+        CoreError::InfeasiblePhotonics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InfeasiblePhotonics(LinkError::LaserLimited {
+            required_dbm: 30.0,
+            limit_dbm: 20.0,
+        });
+        assert!(e.to_string().contains("infeasible"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = CoreError::UnmappableLayer {
+            layer: "conv9".into(),
+            reason: "kernel too large".into(),
+        };
+        assert!(e.to_string().contains("conv9"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Photonic MAC unit model (paper Fig. 4).
+//!
+//! A noncoherent broadcast-and-weight vector unit: `n` wavelengths carry
+//! activations (imprinted by an input MR bank), pass a weight MR bank,
+//! and accumulate on a photodetector. Per *pass* (one clock of the DACs)
+//! it computes one length-`n` dot-product chunk; partial sums across
+//! chunks accumulate electronically.
+
+use crate::calibration::Calibration;
+use crate::config::MacClass;
+
+/// One photonic MAC unit's performance/power figures.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_core::calibration::Calibration;
+/// use lumos_core::config::MacClass;
+/// use lumos_core::mac::MacUnit;
+///
+/// let unit = MacUnit::new(MacClass::Conv3, &Calibration::paper());
+/// assert_eq!(unit.lanes(), 9);
+/// assert!(unit.active_power_w() > unit.idle_power_w());
+/// // 9 lanes at 5 GHz = 45 GMAC/s per unit.
+/// assert_eq!(unit.macs_per_second(), 45.0e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacUnit {
+    class: MacClass,
+    lanes: u32,
+    rate_ghz: f64,
+    active_w: f64,
+    idle_w: f64,
+}
+
+impl MacUnit {
+    /// Builds the unit model for `class` under `calib`.
+    ///
+    /// Active power = per-lane (2 DACs + 2 ring locks + laser share) plus
+    /// one ADC; idle power is the calibrated fraction (rings stay
+    /// locked, DACs gated).
+    pub fn new(class: MacClass, calib: &Calibration) -> Self {
+        let lanes = class.lanes();
+        let per_lane_mw =
+            2.0 * calib.dac_mw + 2.0 * calib.mac_ring_lock_mw + calib.mac_lane_laser_mw;
+        let active_w = (lanes as f64 * per_lane_mw + calib.adc_mw_per_unit) * 1e-3;
+        MacUnit {
+            class,
+            lanes,
+            rate_ghz: calib.mac_rate_ghz,
+            active_w,
+            idle_w: active_w * calib.unit_idle_frac,
+        }
+    }
+
+    /// The unit's class.
+    pub fn class(&self) -> MacClass {
+        self.class
+    }
+
+    /// Vector lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Dot-product passes per second.
+    pub fn passes_per_second(&self) -> f64 {
+        self.rate_ghz * 1e9
+    }
+
+    /// Peak multiply-accumulates per second.
+    pub fn macs_per_second(&self) -> f64 {
+        self.lanes as f64 * self.passes_per_second()
+    }
+
+    /// Power while streaming passes, watts.
+    pub fn active_power_w(&self) -> f64 {
+        self.active_w
+    }
+
+    /// Power while idle but resonance-locked, watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// Time in seconds to execute `passes` on `units` parallel units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn compute_seconds(&self, passes: u64, units: usize) -> f64 {
+        assert!(units > 0, "need at least one unit");
+        passes as f64 / (units as f64 * self.passes_per_second())
+    }
+
+    /// Energy for the active portion of a layer: `units` drawing active
+    /// power for `seconds`.
+    pub fn active_energy_j(&self, units: usize, seconds: f64) -> f64 {
+        self.active_w * units as f64 * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_units_draw_more() {
+        let calib = Calibration::paper();
+        let small = MacUnit::new(MacClass::Conv3, &calib);
+        let large = MacUnit::new(MacClass::Dense100, &calib);
+        assert!(large.active_power_w() > small.active_power_w());
+        assert!(large.macs_per_second() > small.macs_per_second());
+    }
+
+    #[test]
+    fn compute_time_scales() {
+        let calib = Calibration::paper();
+        let u = MacUnit::new(MacClass::Conv5, &calib);
+        let t1 = u.compute_seconds(1_000_000, 1);
+        let t4 = u.compute_seconds(1_000_000, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+        // 1 M passes at 5 GHz on one unit = 200 µs.
+        assert!((t1 - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_applied() {
+        let calib = Calibration::paper();
+        let u = MacUnit::new(MacClass::Conv7, &calib);
+        assert!((u.idle_power_w() / u.active_power_w() - calib.unit_idle_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_mac_array_power_in_expected_band() {
+        // Full Table 1 array, everything active: should land in the
+        // 40–80 W band (photonic accelerator chip budgets).
+        let calib = Calibration::paper();
+        let total: f64 = [
+            (MacClass::Dense100, 8),
+            (MacClass::Conv7, 8),
+            (MacClass::Conv5, 32),
+            (MacClass::Conv3, 132),
+        ]
+        .iter()
+        .map(|&(c, n)| MacUnit::new(c, &calib).active_power_w() * n as f64)
+        .sum();
+        assert!((40.0..80.0).contains(&total), "array power {total} W");
+    }
+
+    #[test]
+    fn energy_linear() {
+        let calib = Calibration::paper();
+        let u = MacUnit::new(MacClass::Conv3, &calib);
+        let e = u.active_energy_j(10, 2.0);
+        assert!((e - u.active_power_w() * 20.0).abs() < 1e-12);
+    }
+}

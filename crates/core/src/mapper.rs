@@ -1,0 +1,160 @@
+//! Layer-to-chiplet mapping.
+//!
+//! The paper's platform is heterogeneous (Table 1): dense/FC layers and
+//! 1×1 convolutions go to the 100-lane dense units, K×K convolutions to
+//! the matching (or smallest covering) convolution units, depthwise
+//! convolutions to the units matching their window. Larger-than-7×7
+//! kernels are decomposed into multiple passes by the chunking rule of
+//! [`LayerWorkload::passes_on`].
+
+use lumos_dnn::workload::{KernelClass, LayerWorkload};
+
+use crate::config::{MacClass, PlatformConfig};
+use crate::error::CoreError;
+
+/// Where one layer executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// MAC class chosen.
+    pub class: MacClass,
+    /// Chiplets participating (all chiplets of the class).
+    pub chiplets: Vec<usize>,
+    /// Total units across those chiplets.
+    pub units: usize,
+    /// MAC passes the layer needs on this class's lane width.
+    pub passes: u64,
+}
+
+/// Chooses the MAC class for a workload.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnmappableLayer`] for kernels no class can
+/// chunk (zero-sized windows — impossible from a valid graph).
+pub fn class_for(workload: &LayerWorkload) -> Result<MacClass, CoreError> {
+    let class = match workload.class {
+        KernelClass::Dense => MacClass::Dense100,
+        KernelClass::Conv { k } | KernelClass::Depthwise { k } => match k {
+            0 => {
+                return Err(CoreError::UnmappableLayer {
+                    layer: workload.name.clone(),
+                    reason: "zero-sized kernel".into(),
+                })
+            }
+            1..=3 => MacClass::Conv3,
+            4..=5 => MacClass::Conv5,
+            _ => MacClass::Conv7,
+        },
+    };
+    Ok(class)
+}
+
+/// Maps a workload onto the platform: picks the class, gathers its
+/// chiplets, and counts passes at the class's lane width.
+///
+/// # Errors
+///
+/// Propagates [`class_for`] failures.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_core::config::PlatformConfig;
+/// use lumos_core::mapper::place;
+/// use lumos_dnn::workload::{extract_workloads, Precision};
+///
+/// let cfg = PlatformConfig::paper_table1();
+/// let work = extract_workloads(&lumos_dnn::zoo::lenet5(), Precision::int8());
+/// let p = place(&cfg, &work[0])?; // 5×5 conv → Conv5 class
+/// assert_eq!(p.units, 32);
+/// assert_eq!(p.chiplets.len(), 2);
+/// # Ok::<(), lumos_core::error::CoreError>(())
+/// ```
+pub fn place(cfg: &PlatformConfig, workload: &LayerWorkload) -> Result<Placement, CoreError> {
+    let class = class_for(workload)?;
+    let chiplets = cfg.chiplet_ids_of(class);
+    let units = cfg.class(class).total_units();
+    let passes = workload.passes_on(class.lanes() as u64);
+    Ok(Placement {
+        class,
+        chiplets,
+        units,
+        passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_dnn::workload::{extract_workloads, Precision};
+    use lumos_dnn::zoo;
+
+    fn workloads_of(model: lumos_dnn::Model) -> Vec<LayerWorkload> {
+        extract_workloads(&model, Precision::int8())
+    }
+
+    #[test]
+    fn vgg_convs_go_to_conv3() {
+        let cfg = PlatformConfig::paper_table1();
+        let work = workloads_of(zoo::vgg16());
+        for w in work.iter().take(13) {
+            let p = place(&cfg, w).unwrap();
+            assert_eq!(p.class, MacClass::Conv3, "{}", w.name);
+            assert_eq!(p.units, 132);
+        }
+    }
+
+    #[test]
+    fn fc_and_pointwise_go_to_dense() {
+        let cfg = PlatformConfig::paper_table1();
+        let work = workloads_of(zoo::resnet50());
+        let stem = place(&cfg, &work[0]).unwrap();
+        assert_eq!(stem.class, MacClass::Conv7); // 7×7 stem
+        let pointwise = work.iter().find(|w| w.name == "conv2_1_1_conv").unwrap();
+        assert_eq!(place(&cfg, pointwise).unwrap().class, MacClass::Dense100);
+        let fc = work.last().unwrap();
+        assert_eq!(place(&cfg, fc).unwrap().class, MacClass::Dense100);
+    }
+
+    #[test]
+    fn depthwise_goes_to_conv3() {
+        let cfg = PlatformConfig::paper_table1();
+        let work = workloads_of(zoo::mobilenet_v2());
+        let dw = work.iter().find(|w| w.name == "block_1_depthwise").unwrap();
+        let p = place(&cfg, dw).unwrap();
+        assert_eq!(p.class, MacClass::Conv3);
+        // Depthwise 3×3 fits one pass per output.
+        assert_eq!(p.passes, dw.dot_products);
+    }
+
+    #[test]
+    fn lenet_5x5_goes_to_conv5() {
+        let cfg = PlatformConfig::paper_table1();
+        let work = workloads_of(zoo::lenet5());
+        let p = place(&cfg, &work[1]).unwrap();
+        assert_eq!(p.class, MacClass::Conv5);
+        // 16 output maps of 10×10, reduced over 6 input channels: one
+        // 25-lane pass per (output, channel) pair.
+        assert_eq!(p.passes, 16 * 10 * 10 * 6);
+    }
+
+    #[test]
+    fn oversized_kernel_decomposes_on_conv7() {
+        let cfg = PlatformConfig::paper_table1();
+        let w = LayerWorkload {
+            name: "conv11".into(),
+            class: KernelClass::Conv { k: 11 },
+            dot_products: 100,
+            dot_length: 121 * 3,
+            window: 121,
+            macs: 100 * 121 * 3,
+            weight_bits: 0,
+            input_bits: 0,
+            output_bits: 0,
+        };
+        let p = place(&cfg, &w).unwrap();
+        assert_eq!(p.class, MacClass::Conv7);
+        // Each 121-wide chunk needs ceil(121/49)=3 passes, 3 chunks/dot.
+        assert_eq!(p.passes, 100 * 3 * 3);
+    }
+}

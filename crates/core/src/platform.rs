@@ -1,0 +1,52 @@
+//! The three evaluated platforms.
+
+use std::fmt;
+
+/// Which accelerator organization to simulate (paper §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Monolithic CrossLight: one reticle-limited chip, photonic MACs,
+    /// on-chip electrical distribution.
+    Monolithic,
+    /// 2.5D chiplets over an electrical mesh interposer
+    /// (`2.5D-CrossLight-Elec-Interposer`).
+    Elec2p5D,
+    /// 2.5D chiplets over the ReSiPI-style photonic interposer
+    /// (`2.5D-CrossLight-SiPh-Interposer`).
+    Siph2p5D,
+}
+
+impl Platform {
+    /// All platforms in the paper's presentation order.
+    pub fn all() -> [Platform; 3] {
+        [Platform::Monolithic, Platform::Elec2p5D, Platform::Siph2p5D]
+    }
+
+    /// The paper's label for this platform.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::Monolithic => "CrossLight",
+            Platform::Elec2p5D => "2.5D-CrossLight-Elec",
+            Platform::Siph2p5D => "2.5D-CrossLight-SiPh",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Platform::Monolithic.to_string(), "CrossLight");
+        assert_eq!(Platform::Elec2p5D.to_string(), "2.5D-CrossLight-Elec");
+        assert_eq!(Platform::Siph2p5D.to_string(), "2.5D-CrossLight-SiPh");
+        assert_eq!(Platform::all().len(), 3);
+    }
+}

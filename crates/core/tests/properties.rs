@@ -1,0 +1,105 @@
+//! Property-based tests of the platform runner on randomly generated
+//! (but valid) convolutional models.
+
+use lumos_core::{Platform, PlatformConfig, Runner};
+use lumos_dnn::{Layer, Model, Padding, TensorShape};
+use proptest::prelude::*;
+
+/// Strategy: a random small sequential CNN that always shape-checks.
+fn random_cnn() -> impl Strategy<Value = Model> {
+    let conv = (1u32..=3, prop::sample::select(vec![1u32, 3, 5, 7]), 4u32..32);
+    (
+        8u32..=32,           // input H=W
+        2u32..=8,            // input channels
+        proptest::collection::vec(conv, 1..5),
+        4u32..64,            // classifier width
+    )
+        .prop_map(|(hw, c, convs, classes)| {
+            let mut m = Model::new("random_cnn", TensorShape::chw(c, hw, hw));
+            for (i, (stride, k, out_c)) in convs.into_iter().enumerate() {
+                // Keep spatial dims >= 4 so strides always fit.
+                let cur = m
+                    .tail()
+                    .map(|t| m.output_shape_of(t))
+                    .unwrap_or(m.input_shape());
+                let stride = if cur.h / stride >= 4 { stride } else { 1 };
+                m.push(&format!("conv{i}"), Layer::conv(out_c, k, stride, Padding::Same))
+                    .expect("same-padded conv always fits");
+            }
+            m.push("gap", Layer::GlobalAvgPool).expect("valid");
+            m.push("fc", Layer::dense(classes)).expect("valid");
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random model runs on every platform, with causal layer
+    /// reports and self-consistent totals.
+    #[test]
+    fn runner_total_consistency(model in random_cnn()) {
+        let runner = Runner::new(PlatformConfig::paper_table1());
+        for platform in Platform::all() {
+            let r = runner.run(&platform, &model).expect("valid model runs");
+            prop_assert!(r.total_latency.as_secs_f64() > 0.0);
+            prop_assert!(r.energy.total_j() > 0.0);
+            prop_assert!(r.bits_moved > 0);
+            prop_assert!(r.avg_power_w().is_finite());
+            prop_assert!(r.epb_nj().is_finite());
+            // Per-layer reports tile the run.
+            let mut last = lumos_sim::SimTime::ZERO;
+            for l in &r.layers {
+                prop_assert!(l.start >= last);
+                prop_assert!(l.finish >= l.start);
+                last = l.finish;
+            }
+            prop_assert_eq!(last, r.total_latency);
+            // Energy breakdown components are non-negative.
+            prop_assert!(r.energy.mac_j >= 0.0);
+            prop_assert!(r.energy.network_j >= 0.0);
+            prop_assert!(r.energy.memory_j >= 0.0);
+            prop_assert!(r.energy.digital_j >= 0.0);
+        }
+    }
+
+    /// Determinism: two runs of the same model agree exactly.
+    #[test]
+    fn runner_deterministic(model in random_cnn()) {
+        let runner = Runner::new(PlatformConfig::paper_table1());
+        let a = runner.run(&Platform::Siph2p5D, &model).unwrap();
+        let b = runner.run(&Platform::Siph2p5D, &model).unwrap();
+        prop_assert_eq!(a.total_latency, b.total_latency);
+        prop_assert_eq!(a.energy, b.energy);
+        prop_assert_eq!(a.bits_moved, b.bits_moved);
+    }
+
+    /// Doubling precision doubles traffic and never reduces latency.
+    #[test]
+    fn precision_monotone(model in random_cnn()) {
+        let mut cfg8 = PlatformConfig::paper_table1();
+        cfg8.precision = lumos_dnn::Precision::int8();
+        let mut cfg16 = PlatformConfig::paper_table1();
+        cfg16.precision = lumos_dnn::Precision::int16();
+        let r8 = Runner::new(cfg8).run(&Platform::Siph2p5D, &model).unwrap();
+        let r16 = Runner::new(cfg16).run(&Platform::Siph2p5D, &model).unwrap();
+        prop_assert_eq!(r16.bits_moved, 2 * r8.bits_moved);
+        prop_assert!(r16.total_latency >= r8.total_latency);
+    }
+
+    /// Prefetching weights never increases latency.
+    #[test]
+    fn prefetch_monotone(model in random_cnn()) {
+        let base = PlatformConfig::paper_table1();
+        let mut pre = PlatformConfig::paper_table1();
+        pre.calibration.prefetch_weights = true;
+        for platform in Platform::all() {
+            let without = Runner::new(base.clone()).run(&platform, &model).unwrap();
+            let with = Runner::new(pre.clone()).run(&platform, &model).unwrap();
+            prop_assert!(
+                with.total_latency <= without.total_latency,
+                "{platform}: prefetch regressed"
+            );
+        }
+    }
+}

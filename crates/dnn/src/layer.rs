@@ -1,0 +1,397 @@
+//! DNN layer definitions with shape inference, parameter, and MAC
+//! accounting.
+
+use std::fmt;
+
+use crate::shape::{conv_out, Padding, TensorShape};
+
+/// Elementwise activation functions (no parameters, negligible MACs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 (MobileNet family).
+    Relu6,
+    /// Hyperbolic tangent (LeNet).
+    Tanh,
+    /// Softmax over the feature vector.
+    Softmax,
+}
+
+/// One layer of a DNN graph.
+///
+/// The variants cover everything the Table 2 model zoo needs; parameter
+/// and MAC counts follow the Keras conventions so zoo totals can be
+/// checked against published model summaries exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// 2-D convolution. `groups == 1` is a dense convolution;
+    /// `groups == in_channels` (with `out_channels == in_channels`)
+    /// is a depthwise convolution.
+    Conv2d {
+        /// Number of output feature maps.
+        out_channels: u32,
+        /// Square kernel size.
+        kernel: u32,
+        /// Spatial stride.
+        stride: u32,
+        /// Padding policy.
+        padding: Padding,
+        /// Whether a per-channel bias is added.
+        use_bias: bool,
+        /// Channel groups (1 = dense, `in_channels` = depthwise).
+        groups: u32,
+    },
+    /// Fully connected layer over a flat vector.
+    Dense {
+        /// Number of output units.
+        units: u32,
+        /// Whether a per-unit bias is added.
+        use_bias: bool,
+    },
+    /// Batch normalization: 4 parameters per channel (γ, β, μ, σ²),
+    /// matching Keras "total params" accounting.
+    BatchNorm,
+    /// Elementwise activation.
+    Activation(Activation),
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        size: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding policy.
+        padding: Padding,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window size.
+        size: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding policy.
+        padding: Padding,
+    },
+    /// Global average pooling to a `(C)` vector.
+    GlobalAvgPool,
+    /// Explicit symmetric zero padding of the spatial dims.
+    ZeroPad {
+        /// Rows/columns added on each side.
+        amount: u32,
+    },
+    /// Flattens `(C, H, W)` to a vector.
+    Flatten,
+    /// Elementwise sum of all inputs (residual connections).
+    Add,
+    /// Channel-axis concatenation of all inputs (DenseNet blocks).
+    Concat,
+}
+
+impl Layer {
+    /// Convenience constructor for a standard biased convolution.
+    pub fn conv(out_channels: u32, kernel: u32, stride: u32, padding: Padding) -> Layer {
+        Layer::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            use_bias: true,
+            groups: 1,
+        }
+    }
+
+    /// Convenience constructor for an unbiased convolution (BN follows).
+    pub fn conv_nb(out_channels: u32, kernel: u32, stride: u32, padding: Padding) -> Layer {
+        Layer::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            use_bias: false,
+            groups: 1,
+        }
+    }
+
+    /// Convenience constructor for an unbiased depthwise convolution; the
+    /// channel count is resolved from the input at shape-inference time.
+    pub fn depthwise_nb(kernel: u32, stride: u32, padding: Padding) -> Layer {
+        Layer::Conv2d {
+            out_channels: 0, // resolved to in_channels
+            kernel,
+            stride,
+            padding,
+            use_bias: false,
+            groups: u32::MAX, // marker: groups = in_channels
+        }
+    }
+
+    /// Convenience constructor for a biased dense layer.
+    pub fn dense(units: u32) -> Layer {
+        Layer::Dense {
+            units,
+            use_bias: true,
+        }
+    }
+
+    /// `true` for layers that multiply weights (Conv2d / Dense) — the
+    /// layers photonic MAC units execute and the rows Table 2 counts.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, Layer::Conv2d { .. } | Layer::Dense { .. })
+    }
+
+    /// Output shape given the (single-input) shape. `Add`/`Concat` are
+    /// handled by the graph, which knows all input shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (e.g. `Dense` on a spatial tensor,
+    /// depthwise marker with explicit `out_channels`).
+    pub fn output_shape(&self, input: TensorShape) -> TensorShape {
+        match *self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
+                let (_g, out_c) = resolve_groups(groups, input.c, out_channels);
+                TensorShape::chw(
+                    out_c,
+                    conv_out(input.h, kernel, stride, padding),
+                    conv_out(input.w, kernel, stride, padding),
+                )
+            }
+            Layer::Dense { units, .. } => {
+                assert!(
+                    input.is_vector(),
+                    "dense layer expects a flat vector input, got {input}"
+                );
+                TensorShape::vector(units)
+            }
+            Layer::BatchNorm | Layer::Activation(_) | Layer::Add => input,
+            Layer::MaxPool {
+                size,
+                stride,
+                padding,
+            }
+            | Layer::AvgPool {
+                size,
+                stride,
+                padding,
+            } => TensorShape::chw(
+                input.c,
+                conv_out(input.h, size, stride, padding),
+                conv_out(input.w, size, stride, padding),
+            ),
+            Layer::GlobalAvgPool => TensorShape::vector(input.c),
+            Layer::ZeroPad { amount } => {
+                TensorShape::chw(input.c, input.h + 2 * amount, input.w + 2 * amount)
+            }
+            Layer::Flatten => TensorShape::vector(
+                u32::try_from(input.elements()).expect("flattened tensor exceeds u32"),
+            ),
+            Layer::Concat => input, // graph overrides with summed channels
+        }
+    }
+
+    /// Number of trainable + running parameters, Keras accounting.
+    pub fn param_count(&self, input: TensorShape) -> u64 {
+        match *self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                use_bias,
+                groups,
+                ..
+            } => {
+                let (g, out_c) = resolve_groups(groups, input.c, out_channels);
+                let weights =
+                    kernel as u64 * kernel as u64 * (input.c as u64 / g as u64) * out_c as u64;
+                weights + if use_bias { out_c as u64 } else { 0 }
+            }
+            Layer::Dense { units, use_bias } => {
+                let weights = input.c as u64 * units as u64;
+                weights + if use_bias { units as u64 } else { 0 }
+            }
+            Layer::BatchNorm => 4 * input.c as u64,
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate operations for one inference pass.
+    pub fn mac_count(&self, input: TensorShape) -> u64 {
+        match *self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
+                let (g, out_c) = resolve_groups(groups, input.c, out_channels);
+                let oh = conv_out(input.h, kernel, stride, padding) as u64;
+                let ow = conv_out(input.w, kernel, stride, padding) as u64;
+                oh * ow
+                    * out_c as u64
+                    * kernel as u64
+                    * kernel as u64
+                    * (input.c as u64 / g as u64)
+            }
+            Layer::Dense { units, .. } => input.c as u64 * units as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Resolves the depthwise marker: returns `(groups, out_channels)`.
+fn resolve_groups(groups: u32, in_channels: u32, out_channels: u32) -> (u32, u32) {
+    if groups == u32::MAX {
+        assert!(
+            out_channels == 0,
+            "depthwise marker must not set out_channels"
+        );
+        (in_channels, in_channels)
+    } else {
+        assert!(groups >= 1, "groups must be >= 1");
+        assert!(
+            in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
+            "channels not divisible by groups"
+        );
+        (groups, out_channels)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                groups,
+                ..
+            } => {
+                if groups == u32::MAX {
+                    write!(f, "DepthwiseConv{kernel}x{kernel}/s{stride}")
+                } else {
+                    write!(f, "Conv{kernel}x{kernel}x{out_channels}/s{stride}")
+                }
+            }
+            Layer::Dense { units, .. } => write!(f, "Dense{units}"),
+            Layer::BatchNorm => write!(f, "BatchNorm"),
+            Layer::Activation(a) => write!(f, "{a:?}"),
+            Layer::MaxPool { size, stride, .. } => write!(f, "MaxPool{size}/s{stride}"),
+            Layer::AvgPool { size, stride, .. } => write!(f, "AvgPool{size}/s{stride}"),
+            Layer::GlobalAvgPool => write!(f, "GlobalAvgPool"),
+            Layer::ZeroPad { amount } => write!(f, "ZeroPad{amount}"),
+            Layer::Flatten => write!(f, "Flatten"),
+            Layer::Add => write!(f, "Add"),
+            Layer::Concat => write!(f, "Concat"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_with_bias() {
+        // 5x5x3 -> 6 filters + 6 biases = 456 (LeNet conv1 on RGB).
+        let l = Layer::conv(6, 5, 1, Padding::Valid);
+        assert_eq!(l.param_count(TensorShape::chw(3, 32, 32)), 456);
+    }
+
+    #[test]
+    fn conv_params_without_bias() {
+        let l = Layer::conv_nb(64, 7, 2, Padding::Valid);
+        assert_eq!(l.param_count(TensorShape::chw(3, 230, 230)), 7 * 7 * 3 * 64);
+    }
+
+    #[test]
+    fn depthwise_params() {
+        let l = Layer::depthwise_nb(3, 1, Padding::Same);
+        // 3x3 kernel per channel, 32 channels, no bias.
+        assert_eq!(l.param_count(TensorShape::chw(32, 112, 112)), 288);
+        let out = l.output_shape(TensorShape::chw(32, 112, 112));
+        assert_eq!(out, TensorShape::chw(32, 112, 112));
+    }
+
+    #[test]
+    fn dense_params_and_macs() {
+        let l = Layer::dense(10);
+        let input = TensorShape::vector(84);
+        assert_eq!(l.param_count(input), 850);
+        assert_eq!(l.mac_count(input), 840);
+    }
+
+    #[test]
+    fn batchnorm_params() {
+        assert_eq!(Layer::BatchNorm.param_count(TensorShape::chw(64, 1, 1)), 256);
+    }
+
+    #[test]
+    fn conv_macs() {
+        // VGG16 conv1_1: 224x224x64 outputs, 3x3x3 window.
+        let l = Layer::conv(64, 3, 1, Padding::Same);
+        let macs = l.mac_count(TensorShape::chw(3, 224, 224));
+        assert_eq!(macs, 224 * 224 * 64 * 9 * 3);
+    }
+
+    #[test]
+    fn shapes_through_common_layers() {
+        let s = TensorShape::chw(3, 224, 224);
+        let s = Layer::ZeroPad { amount: 3 }.output_shape(s);
+        assert_eq!(s, TensorShape::chw(3, 230, 230));
+        let s = Layer::conv(64, 7, 2, Padding::Valid).output_shape(s);
+        assert_eq!(s, TensorShape::chw(64, 112, 112));
+        let s = Layer::ZeroPad { amount: 1 }.output_shape(s);
+        let s = Layer::MaxPool {
+            size: 3,
+            stride: 2,
+            padding: Padding::Valid,
+        }
+        .output_shape(s);
+        assert_eq!(s, TensorShape::chw(64, 56, 56));
+        let s = Layer::GlobalAvgPool.output_shape(s);
+        assert_eq!(s, TensorShape::vector(64));
+    }
+
+    #[test]
+    fn weighted_detection() {
+        assert!(Layer::conv(8, 3, 1, Padding::Same).is_weighted());
+        assert!(Layer::dense(8).is_weighted());
+        assert!(!Layer::BatchNorm.is_weighted());
+        assert!(!Layer::Flatten.is_weighted());
+    }
+
+    #[test]
+    fn flatten_shape() {
+        let s = Layer::Flatten.output_shape(TensorShape::chw(16, 5, 5));
+        assert_eq!(s, TensorShape::vector(400));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat vector input")]
+    fn dense_rejects_spatial_input() {
+        let _ = Layer::dense(10).output_shape(TensorShape::chw(16, 5, 5));
+    }
+
+    #[test]
+    fn grouped_conv() {
+        let l = Layer::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+            use_bias: false,
+            groups: 4,
+        };
+        let input = TensorShape::chw(32, 28, 28);
+        assert_eq!(l.param_count(input), 9 * (32 / 4) as u64 * 64);
+        assert_eq!(l.mac_count(input), 28 * 28 * 64 * 9 * 8);
+    }
+}

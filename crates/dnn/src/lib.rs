@@ -1,0 +1,42 @@
+//! # lumos-dnn — DNN workload substrate
+//!
+//! Layer graphs, shape inference, and exact parameter/MAC/traffic
+//! accounting for the DNN models the paper evaluates (Table 2), plus the
+//! workload extraction the accelerator simulator consumes.
+//!
+//! * [`shape`] — tensor shapes and convolution arithmetic
+//! * [`layer`] — the layer enum with Keras-convention accounting
+//! * [`graph`] — models as DAGs with inferred shapes
+//! * [`zoo`] — LeNet-5, ResNet-50, DenseNet-121, VGG-16, MobileNetV2,
+//!   each matching its published total parameter count exactly
+//! * [`workload`] — per-layer compute/traffic extraction
+//! * [`quantization`] — heterogeneous per-layer bit-widths (§III, \[22\])
+//!
+//! # Examples
+//!
+//! ```
+//! use lumos_dnn::workload::{extract_workloads, totals, Precision};
+//!
+//! let model = lumos_dnn::zoo::resnet50();
+//! assert_eq!(model.param_count(), 25_636_712); // Table 2, exactly
+//!
+//! let work = extract_workloads(&model, Precision::int8());
+//! let t = totals(&work);
+//! assert!(t.macs > 3_000_000_000); // ~3.9 GMAC per inference
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod quantization;
+pub mod layer;
+pub mod shape;
+pub mod workload;
+pub mod zoo;
+
+pub use graph::{Model, ModelError, Node, NodeId};
+pub use layer::{Activation, Layer};
+pub use shape::{conv_out, Padding, TensorShape};
+pub use quantization::{extract_quantized_workloads, QuantPolicy, QuantizationScheme};
+pub use workload::{extract_workloads, totals, KernelClass, LayerWorkload, Precision};

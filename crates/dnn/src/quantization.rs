@@ -1,0 +1,253 @@
+//! Heterogeneous quantization (paper §III, ref. \[22\]).
+//!
+//! The paper's related work optimizes noncoherent accelerators with
+//! *heterogeneous* quantization: potentially different parameter
+//! bit-widths per DNN layer, trading accuracy headroom for
+//! electrical-photonic interface energy. This module assigns per-layer
+//! bit-widths under several policies and rescales workloads accordingly,
+//! so the platform simulator can sweep precision per layer.
+
+use crate::graph::Model;
+use crate::workload::{extract_workloads, LayerWorkload, Precision};
+
+/// Per-layer bit-width assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantPolicy {
+    /// Every layer at the same width.
+    Uniform {
+        /// Bits for weights and activations.
+        bits: u32,
+    },
+    /// First and last weighted layers keep high precision (they dominate
+    /// accuracy), interior layers run narrow — the standard mixed scheme.
+    EdgesHigh {
+        /// Bits for the first/last layers.
+        edge_bits: u32,
+        /// Bits for the interior layers.
+        interior_bits: u32,
+    },
+    /// Width scales with a layer's parameter share: parameter-heavy
+    /// layers (FC) get squeezed hardest, tiny layers keep precision —
+    /// the traffic-oriented assignment of interface-energy optimizers.
+    TrafficAware {
+        /// Maximum (and default) bit-width.
+        max_bits: u32,
+        /// Minimum bit-width for the heaviest layers.
+        min_bits: u32,
+    },
+}
+
+/// A per-layer bit-width assignment for a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizationScheme {
+    /// Bits per weighted layer, in execution order.
+    pub layer_bits: Vec<u32>,
+}
+
+impl QuantizationScheme {
+    /// Builds a scheme for `model` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested width is 0 or > 32, or if the model has
+    /// no weighted layers.
+    pub fn assign(model: &Model, policy: QuantPolicy) -> Self {
+        let weighted: Vec<u64> = model
+            .weighted_nodes()
+            .map(|n| n.layer.param_count(n.input_shape))
+            .collect();
+        assert!(!weighted.is_empty(), "model has no weighted layers");
+        let check = |b: u32| {
+            assert!((1..=32).contains(&b), "bit-width {b} out of range");
+            b
+        };
+        let layer_bits = match policy {
+            QuantPolicy::Uniform { bits } => vec![check(bits); weighted.len()],
+            QuantPolicy::EdgesHigh {
+                edge_bits,
+                interior_bits,
+            } => {
+                check(edge_bits);
+                check(interior_bits);
+                let n = weighted.len();
+                (0..n)
+                    .map(|i| {
+                        if i == 0 || i == n - 1 {
+                            edge_bits
+                        } else {
+                            interior_bits
+                        }
+                    })
+                    .collect()
+            }
+            QuantPolicy::TrafficAware { max_bits, min_bits } => {
+                check(max_bits);
+                check(min_bits);
+                assert!(min_bits <= max_bits, "min_bits > max_bits");
+                let heaviest = *weighted.iter().max().expect("non-empty") as f64;
+                weighted
+                    .iter()
+                    .map(|&p| {
+                        // Log-scaled interpolation: a layer with 1% of the
+                        // heaviest layer's parameters keeps near-max width.
+                        let f = if heaviest > 0.0 && p > 0 {
+                            ((p as f64).ln() / heaviest.ln()).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        let bits =
+                            max_bits as f64 - f * (max_bits - min_bits) as f64;
+                        bits.round() as u32
+                    })
+                    .collect()
+            }
+        };
+        QuantizationScheme { layer_bits }
+    }
+
+    /// Average bit-width, parameter-weighted, for `model`.
+    pub fn mean_weight_bits(&self, model: &Model) -> f64 {
+        let params: Vec<u64> = model
+            .weighted_nodes()
+            .map(|n| n.layer.param_count(n.input_shape))
+            .collect();
+        let total: u64 = params.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        params
+            .iter()
+            .zip(&self.layer_bits)
+            .map(|(&p, &b)| p as f64 * b as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Extracts workloads with per-layer bit-widths from `scheme` applied to
+/// both weights and activations of each layer.
+///
+/// # Panics
+///
+/// Panics if the scheme's length does not match the model's weighted
+/// layer count.
+pub fn extract_quantized_workloads(
+    model: &Model,
+    scheme: &QuantizationScheme,
+) -> Vec<LayerWorkload> {
+    let base = extract_workloads(
+        model,
+        Precision {
+            weight_bits: 1,
+            activation_bits: 1,
+        },
+    );
+    assert_eq!(
+        base.len(),
+        scheme.layer_bits.len(),
+        "scheme covers {} layers, model has {}",
+        scheme.layer_bits.len(),
+        base.len()
+    );
+    base.into_iter()
+        .zip(&scheme.layer_bits)
+        .map(|(mut w, &bits)| {
+            w.weight_bits *= bits as u64;
+            w.input_bits *= bits as u64;
+            w.output_bits *= bits as u64;
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::totals;
+    use crate::zoo;
+
+    #[test]
+    fn uniform_matches_plain_extraction() {
+        let model = zoo::lenet5();
+        let scheme = QuantizationScheme::assign(&model, QuantPolicy::Uniform { bits: 8 });
+        let q = extract_quantized_workloads(&model, &scheme);
+        let plain = extract_workloads(&model, Precision::int8());
+        assert_eq!(totals(&q), totals(&plain));
+    }
+
+    #[test]
+    fn edges_high_assigns_correctly() {
+        let model = zoo::lenet5(); // 5 weighted layers
+        let scheme = QuantizationScheme::assign(
+            &model,
+            QuantPolicy::EdgesHigh {
+                edge_bits: 16,
+                interior_bits: 4,
+            },
+        );
+        assert_eq!(scheme.layer_bits, vec![16, 4, 4, 4, 16]);
+    }
+
+    #[test]
+    fn traffic_aware_squeezes_heavy_layers() {
+        let model = zoo::vgg16();
+        let scheme = QuantizationScheme::assign(
+            &model,
+            QuantPolicy::TrafficAware {
+                max_bits: 8,
+                min_bits: 4,
+            },
+        );
+        // fc1 (102.8 M params) must get the minimum width; conv1_1
+        // (1.8 K params) stays near the maximum.
+        let fc1_idx = 13; // after the 13 convs
+        assert_eq!(scheme.layer_bits[fc1_idx], 4);
+        assert!(scheme.layer_bits[0] >= 6);
+        // Parameter-weighted mean sits near the bottom (FC dominates).
+        let mean = scheme.mean_weight_bits(&model);
+        assert!((4.0..5.5).contains(&mean), "mean bits {mean}");
+    }
+
+    #[test]
+    fn quantized_traffic_scales_with_bits() {
+        let model = zoo::lenet5();
+        let w8 = extract_quantized_workloads(
+            &model,
+            &QuantizationScheme::assign(&model, QuantPolicy::Uniform { bits: 8 }),
+        );
+        let w4 = extract_quantized_workloads(
+            &model,
+            &QuantizationScheme::assign(&model, QuantPolicy::Uniform { bits: 4 }),
+        );
+        assert_eq!(totals(&w8).total_bits, 2 * totals(&w4).total_bits);
+        // MACs are unchanged by precision.
+        assert_eq!(totals(&w8).macs, totals(&w4).macs);
+    }
+
+    #[test]
+    fn mixed_scheme_reduces_traffic_vs_uniform_high() {
+        let model = zoo::resnet50();
+        let uniform = extract_quantized_workloads(
+            &model,
+            &QuantizationScheme::assign(&model, QuantPolicy::Uniform { bits: 8 }),
+        );
+        let mixed = extract_quantized_workloads(
+            &model,
+            &QuantizationScheme::assign(
+                &model,
+                QuantPolicy::EdgesHigh {
+                    edge_bits: 8,
+                    interior_bits: 4,
+                },
+            ),
+        );
+        assert!(totals(&mixed).total_bits < totals(&uniform).total_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_rejected() {
+        let model = zoo::lenet5();
+        let _ = QuantizationScheme::assign(&model, QuantPolicy::Uniform { bits: 0 });
+    }
+}

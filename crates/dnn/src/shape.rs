@@ -1,0 +1,152 @@
+//! Tensor shapes and convolution arithmetic.
+
+use std::fmt;
+
+/// The shape of an activation tensor in channels-first `(C, H, W)` layout.
+///
+/// Fully-connected activations use `(C, 1, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_dnn::shape::TensorShape;
+///
+/// let s = TensorShape::chw(64, 56, 56);
+/// assert_eq!(s.elements(), 64 * 56 * 56);
+/// assert_eq!(TensorShape::vector(1000).elements(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    /// Channel count.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl TensorShape {
+    /// Creates a `(C, H, W)` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn chw(c: u32, h: u32, w: u32) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dims must be positive");
+        TensorShape { c, h, w }
+    }
+
+    /// A flat feature vector of `n` elements.
+    pub fn vector(n: u32) -> Self {
+        TensorShape::chw(n, 1, 1)
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// `true` when the shape is a flat vector.
+    pub fn is_vector(&self) -> bool {
+        self.h == 1 && self.w == 1
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_vector() {
+            write!(f, "({})", self.c)
+        } else {
+            write!(f, "({}, {}, {})", self.c, self.h, self.w)
+        }
+    }
+}
+
+/// Spatial padding policy, following Keras semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// Output spatial size is `ceil(in / stride)`.
+    Same,
+    /// No implicit padding: `floor((in - k) / stride) + 1`.
+    Valid,
+}
+
+/// Output spatial size of a convolution/pool window.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`, `kernel == 0`, or a `Valid` window does not
+/// fit (`kernel > input`).
+///
+/// # Examples
+///
+/// ```
+/// use lumos_dnn::shape::{conv_out, Padding};
+///
+/// assert_eq!(conv_out(224, 3, 1, Padding::Same), 224);
+/// assert_eq!(conv_out(224, 7, 2, Padding::Valid), 109);
+/// assert_eq!(conv_out(112, 3, 2, Padding::Same), 56);
+/// ```
+pub fn conv_out(input: u32, kernel: u32, stride: u32, padding: Padding) -> u32 {
+    assert!(stride > 0, "stride must be positive");
+    assert!(kernel > 0, "kernel must be positive");
+    match padding {
+        Padding::Same => input.div_ceil(stride),
+        Padding::Valid => {
+            assert!(
+                kernel <= input,
+                "valid convolution window {kernel} larger than input {input}"
+            );
+            (input - kernel) / stride + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(TensorShape::chw(3, 224, 224).elements(), 150_528);
+        assert_eq!(TensorShape::vector(4096).elements(), 4096);
+    }
+
+    #[test]
+    fn vector_detection() {
+        assert!(TensorShape::vector(10).is_vector());
+        assert!(!TensorShape::chw(3, 2, 1).is_vector());
+    }
+
+    #[test]
+    fn same_padding_divides_by_stride() {
+        assert_eq!(conv_out(224, 3, 2, Padding::Same), 112);
+        assert_eq!(conv_out(113, 3, 2, Padding::Same), 57);
+        assert_eq!(conv_out(7, 3, 1, Padding::Same), 7);
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        assert_eq!(conv_out(32, 5, 1, Padding::Valid), 28);
+        assert_eq!(conv_out(28, 2, 2, Padding::Valid), 14);
+        assert_eq!(conv_out(5, 5, 1, Padding::Valid), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TensorShape::chw(64, 56, 56).to_string(), "(64, 56, 56)");
+        assert_eq!(TensorShape::vector(1000).to_string(), "(1000)");
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn valid_window_must_fit() {
+        let _ = conv_out(4, 5, 1, Padding::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        let _ = TensorShape::chw(0, 1, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! LeNet-5 (LeCun et al., 1998) on 32×32 RGB inputs.
+//!
+//! The paper's Table 2 lists 3 CONV + 2 FC layers and 62,006 parameters,
+//! which corresponds to the classic architecture with C5 expressed as a
+//! convolution and a 3-channel (CIFAR-style) input — the RGB first layer
+//! contributes the extra 300 parameters over the grayscale variant's
+//! 61,706.
+
+use crate::graph::Model;
+use crate::layer::{Activation, Layer};
+use crate::shape::{Padding, TensorShape};
+
+/// Builds LeNet-5: 62,006 parameters, 3 conv + 2 FC layers.
+///
+/// # Examples
+///
+/// ```
+/// let m = lumos_dnn::zoo::lenet5();
+/// assert_eq!(m.param_count(), 62_006);
+/// ```
+pub fn lenet5() -> Model {
+    let mut m = Model::new("lenet5", TensorShape::chw(3, 32, 32));
+    let push = |m: &mut Model, name: &str, layer: Layer| {
+        m.push(name, layer).expect("lenet5 graph is well-formed");
+    };
+
+    push(&mut m, "c1", Layer::conv(6, 5, 1, Padding::Valid));
+    push(&mut m, "c1_act", Layer::Activation(Activation::Tanh));
+    push(
+        &mut m,
+        "s2",
+        Layer::AvgPool {
+            size: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+    );
+    push(&mut m, "c3", Layer::conv(16, 5, 1, Padding::Valid));
+    push(&mut m, "c3_act", Layer::Activation(Activation::Tanh));
+    push(
+        &mut m,
+        "s4",
+        Layer::AvgPool {
+            size: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+    );
+    push(&mut m, "c5", Layer::conv(120, 5, 1, Padding::Valid));
+    push(&mut m, "c5_act", Layer::Activation(Activation::Tanh));
+    push(&mut m, "flatten", Layer::Flatten);
+    push(&mut m, "f6", Layer::dense(84));
+    push(&mut m, "f6_act", Layer::Activation(Activation::Tanh));
+    push(&mut m, "output", Layer::dense(10));
+    push(&mut m, "softmax", Layer::Activation(Activation::Softmax));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_param_count() {
+        assert_eq!(lenet5().param_count(), 62_006);
+    }
+
+    #[test]
+    fn layer_counts() {
+        let m = lenet5();
+        assert_eq!(m.conv_layer_count(), 3);
+        assert_eq!(m.fc_layer_count(), 2);
+    }
+
+    #[test]
+    fn per_layer_params() {
+        let m = lenet5();
+        let params: Vec<u64> = m
+            .weighted_nodes()
+            .map(|n| n.layer.param_count(n.input_shape))
+            .collect();
+        assert_eq!(params, vec![456, 2_416, 48_120, 10_164, 850]);
+    }
+
+    #[test]
+    fn c5_collapses_to_vector() {
+        let m = lenet5();
+        let c5 = m
+            .nodes()
+            .iter()
+            .find(|n| n.name == "c5")
+            .expect("c5 exists");
+        assert_eq!(c5.output_shape, TensorShape::chw(120, 1, 1));
+    }
+}

@@ -1,0 +1,108 @@
+//! The Table 2 model zoo.
+//!
+//! Each model is reconstructed layer-by-layer following its original
+//! publication (and the Keras reference implementation for parameter
+//! accounting), so that total parameter counts match the paper's Table 2
+//! **exactly**:
+//!
+//! | Model | CONV layers | FC layers | Parameters |
+//! |---|---|---|---|
+//! | LeNet-5 | 3 | 2 | 62,006 |
+//! | ResNet-50 | 53 | 1 | 25,636,712 |
+//! | DenseNet-121 | 120 | 1 | 8,062,504 |
+//! | VGG-16 | 13 | 3 | 138,357,544 |
+//! | MobileNetV2 | 52 | 1 | 3,538,984 |
+//!
+//! These exact totals double as integration tests of the shape-inference
+//! and parameter-accounting machinery.
+
+mod densenet121;
+mod lenet5;
+mod mobilenet_v2;
+mod resnet50;
+mod vgg16;
+
+pub use densenet121::densenet121;
+pub use lenet5::lenet5;
+pub use mobilenet_v2::mobilenet_v2;
+pub use resnet50::resnet50;
+pub use vgg16::vgg16;
+
+use crate::graph::Model;
+
+/// All five Table 2 models, in the paper's row order.
+pub fn table2_models() -> Vec<Model> {
+    vec![
+        lenet5(),
+        resnet50(),
+        densenet121(),
+        vgg16(),
+        mobilenet_v2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_exact_parameter_counts() {
+        let expected: &[(&str, u64)] = &[
+            ("lenet5", 62_006),
+            ("resnet50", 25_636_712),
+            ("densenet121", 8_062_504),
+            ("vgg16", 138_357_544),
+            ("mobilenet_v2", 3_538_984),
+        ];
+        for (model, (name, params)) in table2_models().iter().zip(expected) {
+            assert_eq!(model.name(), *name);
+            assert_eq!(
+                model.param_count(),
+                *params,
+                "{name} parameter count diverges from Table 2"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_exact_layer_counts() {
+        let expected: &[(usize, usize)] = &[(3, 2), (53, 1), (120, 1), (13, 3), (52, 1)];
+        for (model, (conv, fc)) in table2_models().iter().zip(expected) {
+            assert_eq!(
+                (model.conv_layer_count(), model.fc_layer_count()),
+                (*conv, *fc),
+                "{} layer counts diverge from Table 2",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mac_counts_in_published_ballpark() {
+        // Published single-inference MAC counts (±15%):
+        // VGG16 ≈ 15.5 G, ResNet50 ≈ 3.9 G, DenseNet121 ≈ 2.9 G,
+        // MobileNetV2 ≈ 0.3 G.
+        let check = |m: &Model, expect: f64| {
+            let macs = m.mac_count() as f64;
+            assert!(
+                (macs / expect - 1.0).abs() < 0.15,
+                "{}: {macs:.3e} vs expected {expect:.3e}",
+                m.name()
+            );
+        };
+        check(&vgg16(), 15.5e9);
+        check(&resnet50(), 3.9e9);
+        check(&densenet121(), 2.9e9);
+        check(&mobilenet_v2(), 0.31e9);
+    }
+
+    #[test]
+    fn every_model_ends_in_classifier() {
+        for m in table2_models() {
+            let last_weighted = m.weighted_nodes().last().expect("has weighted layers");
+            let out = last_weighted.output_shape;
+            assert!(out.is_vector(), "{} head is not a vector", m.name());
+            assert!(out.c == 10 || out.c == 1000);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Electrical link and router cost models.
+
+use lumos_sim::SimTime;
+
+/// Physical/electrical parameters of one interposer mesh link.
+///
+/// Matches the paper's Table 1 defaults: 128-bit parallel links clocked
+/// at 2 GHz (256 Gb/s raw). Long interposer wires are modelled as
+/// repeated RC lines with a per-millimetre delay and energy.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_noc::link::LinkModel;
+///
+/// let link = LinkModel::paper_table1(8.0);
+/// assert_eq!(link.bandwidth_gbps(), 256.0);
+/// assert!(link.traversal_latency().as_ps() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Parallel width in bits.
+    pub width_bits: u32,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Physical length in millimetres.
+    pub length_mm: f64,
+    /// Signal propagation delay per millimetre of repeated wire, ps.
+    pub wire_delay_ps_per_mm: f64,
+    /// Wire energy per bit per millimetre, picojoules.
+    pub energy_pj_per_bit_mm: f64,
+    /// SerDes/PHY latency per link crossing per direction, nanoseconds
+    /// (microbump TX/RX + clock-domain crossing on interposer links).
+    pub serdes_ns: f64,
+}
+
+impl LinkModel {
+    /// The Table 1 electrical interposer link: 128 bits @ 2 GHz over
+    /// `length_mm` of interposer wire (80 ps/mm, 0.15 pJ/bit/mm —
+    /// representative of repeated global wiring on a passive interposer).
+    pub fn paper_table1(length_mm: f64) -> Self {
+        assert!(
+            length_mm.is_finite() && length_mm > 0.0,
+            "link length must be positive"
+        );
+        LinkModel {
+            width_bits: 128,
+            frequency_ghz: 2.0,
+            length_mm,
+            wire_delay_ps_per_mm: 80.0,
+            energy_pj_per_bit_mm: 0.15,
+            serdes_ns: 2.5,
+        }
+    }
+
+    /// Raw bandwidth in Gb/s (`width × frequency`).
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.width_bits as f64 * self.frequency_ghz
+    }
+
+    /// Wire traversal latency for the head of a message.
+    pub fn traversal_latency(&self) -> SimTime {
+        SimTime::from_ps((self.wire_delay_ps_per_mm * self.length_mm).round() as u64)
+    }
+
+    /// Full per-hop crossing latency for packetized transfers: wire
+    /// propagation plus SerDes/PHY on the receiving side.
+    pub fn packet_hop_latency(&self) -> SimTime {
+        self.traversal_latency() + SimTime::from_ps((self.serdes_ns * 1e3).round() as u64)
+    }
+
+    /// Energy to move `bits` across this link, joules.
+    pub fn energy_joules(&self, bits: u64) -> f64 {
+        self.energy_pj_per_bit_mm * 1e-12 * self.length_mm * bits as f64
+    }
+}
+
+/// Router cost model (per-hop pipeline and per-bit switching energy).
+///
+/// # Examples
+///
+/// ```
+/// use lumos_noc::link::RouterModel;
+///
+/// let r = RouterModel::paper_table1();
+/// // 3 pipeline stages at 2 GHz = 1.5 ns per hop.
+/// assert_eq!(r.hop_latency().as_ps(), 1_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterModel {
+    /// Pipeline depth in cycles.
+    pub pipeline_stages: u32,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Switching energy per bit through the crossbar+buffers, picojoules.
+    pub energy_pj_per_bit: f64,
+    /// Static (leakage + clock) power per router, milliwatts.
+    pub leakage_mw: f64,
+}
+
+impl RouterModel {
+    /// A 3-stage 2 GHz interposer router, 0.55 pJ/bit, 25 mW static —
+    /// consistent with active-interposer router publications.
+    pub fn paper_table1() -> Self {
+        RouterModel {
+            pipeline_stages: 3,
+            frequency_ghz: 2.0,
+            energy_pj_per_bit: 0.55,
+            leakage_mw: 25.0,
+        }
+    }
+
+    /// Head latency through one router.
+    pub fn hop_latency(&self) -> SimTime {
+        SimTime::from_ps(
+            (self.pipeline_stages as f64 * 1e3 / self.frequency_ghz).round() as u64,
+        )
+    }
+
+    /// Energy to switch `bits` through one router, joules.
+    pub fn energy_joules(&self, bits: u64) -> f64 {
+        self.energy_pj_per_bit * 1e-12 * bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bandwidth() {
+        assert_eq!(LinkModel::paper_table1(8.0).bandwidth_gbps(), 256.0);
+    }
+
+    #[test]
+    fn wire_latency_scales_with_length() {
+        let short = LinkModel::paper_table1(2.0).traversal_latency();
+        let long = LinkModel::paper_table1(20.0).traversal_latency();
+        assert_eq!(short.as_ps(), 160);
+        assert_eq!(long.as_ps(), 1_600);
+    }
+
+    #[test]
+    fn energies_linear_in_bits() {
+        let link = LinkModel::paper_table1(10.0);
+        assert!((link.energy_joules(1_000) - 1.5e-9).abs() < 1e-15);
+        let r = RouterModel::paper_table1();
+        assert!((r.energy_joules(1_000) - 0.55e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hop_latency_from_pipeline() {
+        let mut r = RouterModel::paper_table1();
+        r.pipeline_stages = 4;
+        assert_eq!(r.hop_latency().as_ps(), 2_000);
+    }
+}

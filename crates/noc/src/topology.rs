@@ -1,0 +1,169 @@
+//! 2-D mesh topology for the electrical interposer.
+
+use std::fmt;
+
+/// Coordinate of a node (tile/chiplet site) in a 2-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column (x).
+    pub x: u32,
+    /// Row (y).
+    pub y: u32,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A directed link between two adjacent mesh nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirectedLink {
+    /// Source node.
+    pub from: Coord,
+    /// Destination node (must be a mesh neighbour of `from`).
+    pub to: Coord,
+}
+
+/// A rectangular 2-D mesh.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_noc::topology::{Coord, Mesh};
+///
+/// let mesh = Mesh::new(3, 3);
+/// assert_eq!(mesh.node_count(), 9);
+/// assert_eq!(mesh.neighbors(Coord::new(1, 1)).len(), 4);
+/// assert_eq!(mesh.neighbors(Coord::new(0, 0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: u32,
+    rows: u32,
+}
+
+impl Mesh {
+    /// Creates a `cols × rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u32, rows: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh { cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// `true` when `c` lies inside the mesh.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.cols && c.y < self.rows
+    }
+
+    /// The mesh neighbours of `c` (2–4 of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the mesh.
+    pub fn neighbors(&self, c: Coord) -> Vec<Coord> {
+        assert!(self.contains(c), "coordinate {c} outside mesh");
+        let mut out = Vec::with_capacity(4);
+        if c.x > 0 {
+            out.push(Coord::new(c.x - 1, c.y));
+        }
+        if c.x + 1 < self.cols {
+            out.push(Coord::new(c.x + 1, c.y));
+        }
+        if c.y > 0 {
+            out.push(Coord::new(c.x, c.y - 1));
+        }
+        if c.y + 1 < self.rows {
+            out.push(Coord::new(c.x, c.y + 1));
+        }
+        out
+    }
+
+    /// Iterates over every node coordinate in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.rows).flat_map(move |y| (0..self.cols).map(move |x| Coord::new(x, y)))
+    }
+
+    /// All directed links of the mesh.
+    pub fn links(&self) -> Vec<DirectedLink> {
+        let mut out = Vec::new();
+        for c in self.iter() {
+            for n in self.neighbors(c) {
+                out.push(DirectedLink { from: c, to: n });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_counts() {
+        let m = Mesh::new(3, 3);
+        assert_eq!(m.neighbors(Coord::new(0, 0)).len(), 2); // corner
+        assert_eq!(m.neighbors(Coord::new(1, 0)).len(), 3); // edge
+        assert_eq!(m.neighbors(Coord::new(1, 1)).len(), 4); // centre
+    }
+
+    #[test]
+    fn link_count_formula() {
+        // Directed links: 2·(cols−1)·rows + 2·cols·(rows−1).
+        let m = Mesh::new(4, 3);
+        assert_eq!(m.links().len(), (2 * 3 * 3 + 2 * 4 * 2) as usize);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(2, 2)), 4);
+        assert_eq!(Coord::new(2, 1).manhattan(Coord::new(2, 1)), 0);
+    }
+
+    #[test]
+    fn iteration_covers_all_nodes() {
+        let m = Mesh::new(3, 2);
+        let all: Vec<Coord> = m.iter().collect();
+        assert_eq!(all.len(), 6);
+        assert!(all.contains(&Coord::new(2, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn neighbors_bounds_checked() {
+        let m = Mesh::new(2, 2);
+        let _ = m.neighbors(Coord::new(5, 0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for mesh network invariants.
+
+use lumos_noc::{xy_route, Coord, Mesh, MeshNetwork};
+use lumos_sim::SimTime;
+use proptest::prelude::*;
+
+fn coord_strategy(cols: u32, rows: u32) -> impl Strategy<Value = Coord> {
+    (0..cols, 0..rows).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+proptest! {
+    /// XY paths have Manhattan length, are contiguous, and stay inside
+    /// the mesh.
+    #[test]
+    fn xy_route_well_formed(
+        src in coord_strategy(5, 5),
+        dst in coord_strategy(5, 5),
+    ) {
+        let mesh = Mesh::new(5, 5);
+        let path = xy_route(&mesh, src, dst);
+        prop_assert_eq!(path.len() as u32, src.manhattan(dst));
+        if let Some(first) = path.first() {
+            prop_assert_eq!(first.from, src);
+            prop_assert_eq!(path.last().unwrap().to, dst);
+        }
+        for pair in path.windows(2) {
+            prop_assert_eq!(pair[0].to, pair[1].from);
+        }
+        for link in &path {
+            prop_assert!(mesh.contains(link.from) && mesh.contains(link.to));
+            prop_assert_eq!(link.from.manhattan(link.to), 1);
+        }
+    }
+
+    /// Transfers never finish before they start, never start before
+    /// their submission, and total energy grows monotonically.
+    #[test]
+    fn transfers_are_causal(
+        jobs in proptest::collection::vec(
+            (coord_strategy(3, 3), coord_strategy(3, 3), 1u64..1_000_000, 0u64..10_000),
+            1..40,
+        ),
+    ) {
+        let mut net = MeshNetwork::paper_table1(3, 3, 8.0);
+        let mut last_energy = 0.0;
+        for (src, dst, bits, at_ns) in jobs {
+            let at = SimTime::from_ns(at_ns);
+            let t = net.transfer(at, src, dst, bits);
+            prop_assert!(t.start >= at);
+            prop_assert!(t.finish >= t.start);
+            prop_assert!(net.total_energy_j() >= last_energy);
+            last_energy = net.total_energy_j();
+        }
+    }
+
+    /// The packetized request/response discipline is never faster than
+    /// streaming the same payload.
+    #[test]
+    fn packet_mode_dominated_by_streaming(
+        src in coord_strategy(3, 3),
+        dst in coord_strategy(3, 3),
+        bits in 1u64..5_000_000,
+    ) {
+        let mut a = MeshNetwork::paper_table1(3, 3, 8.0);
+        let mut b = MeshNetwork::paper_table1(3, 3, 8.0);
+        let streamed = a.transfer(SimTime::ZERO, src, dst, bits);
+        let packetized = b.transfer_packets(SimTime::ZERO, src, dst, bits, 128);
+        prop_assert!(packetized.finish >= streamed.finish);
+        // Both charge identical energy for identical payloads.
+        prop_assert!((a.total_energy_j() - b.total_energy_j()).abs() <= 1e-12 * (1.0 + a.total_energy_j()));
+    }
+
+    /// Energy is exactly linear in payload bits for a fixed route.
+    #[test]
+    fn energy_linear_in_bits(bits in 1u64..1_000_000) {
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(2, 1);
+        let mut a = MeshNetwork::paper_table1(3, 3, 8.0);
+        let mut b = MeshNetwork::paper_table1(3, 3, 8.0);
+        a.transfer(SimTime::ZERO, src, dst, bits);
+        b.transfer(SimTime::ZERO, src, dst, 2 * bits);
+        prop_assert!((b.total_energy_j() - 2.0 * a.total_energy_j()).abs() < 1e-15 + 1e-9 * a.total_energy_j());
+    }
+
+    /// Broadcast to more destinations never finishes earlier.
+    #[test]
+    fn broadcast_monotone_in_fanout(bits in 1u64..500_000) {
+        let src = Coord::new(1, 1);
+        let all = [
+            Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0),
+            Coord::new(0, 1), Coord::new(2, 1),
+        ];
+        let mut few = MeshNetwork::paper_table1(3, 3, 8.0);
+        let mut many = MeshNetwork::paper_table1(3, 3, 8.0);
+        let f = few.broadcast(SimTime::ZERO, src, &all[..2], bits);
+        let m = many.broadcast(SimTime::ZERO, src, &all, bits);
+        prop_assert!(m >= f);
+    }
+}

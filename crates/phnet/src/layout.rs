@@ -1,0 +1,149 @@
+//! Physical waveguide layout of the interposer and its link budgets.
+//!
+//! Fig. 6 of the paper: the memory chiplet's MRG broadcasts on SWMR
+//! waveguides that snake past every compute chiplet's reader gateways,
+//! while each compute writer gateway owns a dedicated SWSR waveguide back
+//! to a filter row on the memory MRG. This module turns chiplet geometry
+//! into worst-case optical loss budgets for both path types.
+
+use lumos_photonics::coupler::{CouplerKind, SplitterTree};
+use lumos_photonics::link::LinkBudget;
+use lumos_photonics::units::Decibels;
+use lumos_photonics::waveguide::Waveguide;
+
+use crate::config::PhnetConfig;
+
+/// Geometric + loss summary of the interposer's optical paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterposerLayout {
+    /// Worst-case SWMR (memory → compute broadcast) budget, per lane.
+    pub swmr_budget: LinkBudget,
+    /// Worst-case SWSR (compute → memory) budget, per writer gateway.
+    pub swsr_budget: LinkBudget,
+    /// Worst-case one-way photon flight time, nanoseconds.
+    pub flight_ns: f64,
+    /// Total SWMR bus length, millimetres.
+    pub swmr_bus_mm: f64,
+}
+
+impl InterposerLayout {
+    /// Derives the layout from a network configuration.
+    ///
+    /// The SWMR bus of each lane visits all `compute_chiplets` at
+    /// `chiplet_pitch_mm` spacing; the worst-case reader sits at the end
+    /// of the bus behind every other chiplet's filter bank. SWSR
+    /// waveguides run point-to-point with at most the full bus length.
+    pub fn from_config(cfg: &PhnetConfig) -> Self {
+        // Interposer-scale routing crosses the dense SWSR waveguide field,
+        // where multi-layer crossings cost ~0.1 dB each.
+        let wg = Waveguide {
+            crossing_db: 0.1,
+            ..Waveguide::soi_strip()
+        };
+        let n = cfg.compute_chiplets;
+        let bus_mm = cfg.chiplet_pitch_mm * n as f64;
+        // Two 90° bends per chiplet passed, one crossing per SWSR
+        // waveguide crossed on the shared interposer routing layer.
+        let bends = 2 * n as u32;
+        let crossings = cfg.total_compute_gateways() as u32;
+
+        // Off-resonance through loss of one 64-ring filter bank that a
+        // bypassing wavelength pays (only its own ring is near resonance
+        // at each reader; the rest are detuned by at least one channel).
+        let bank_through = Decibels::new(0.002 * cfg.wavelengths as f64);
+        let upstream_banks = (n - 1) as f64;
+
+        let swmr_budget = LinkBudget::new()
+            .stage("laser coupler", CouplerKind::Grating.insertion_loss())
+            .stage(
+                "feed waveguide",
+                wg.path_loss(cfg.chiplet_pitch_mm / 2.0, 2, 0),
+            )
+            .stage("modulator row", Decibels::new(1.0))
+            .stage("broadcast bus", wg.path_loss(bus_mm, bends, crossings))
+            .stage(
+                "upstream reader banks",
+                bank_through * upstream_banks,
+            )
+            .stage(
+                "broadcast split",
+                SplitterTree::new(n.max(1)).per_output_loss(),
+            )
+            .stage("drop filter", Decibels::new(1.0));
+
+        let swsr_budget = LinkBudget::new()
+            .stage("laser coupler", CouplerKind::Grating.insertion_loss())
+            .stage(
+                "feed waveguide",
+                wg.path_loss(cfg.chiplet_pitch_mm / 2.0, 2, 0),
+            )
+            .stage("modulator row", Decibels::new(1.0))
+            .stage(
+                "return waveguide",
+                wg.path_loss(bus_mm, bends, crossings / 2),
+            )
+            .stage("memory filter row", Decibels::new(1.0));
+
+        InterposerLayout {
+            swmr_budget,
+            swsr_budget,
+            flight_ns: wg.flight_time_ps(bus_mm) / 1e3,
+            swmr_bus_mm: bus_mm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swmr_lossier_than_swsr() {
+        let layout = InterposerLayout::from_config(&PhnetConfig::paper_table1());
+        assert!(
+            layout.swmr_budget.total_loss().value() > layout.swsr_budget.total_loss().value(),
+            "broadcast path must dominate the loss budget"
+        );
+    }
+
+    #[test]
+    fn more_chiplets_more_loss() {
+        let mut small = PhnetConfig::paper_table1();
+        small.compute_chiplets = 4;
+        let mut large = PhnetConfig::paper_table1();
+        large.compute_chiplets = 16;
+        let a = InterposerLayout::from_config(&small);
+        let b = InterposerLayout::from_config(&large);
+        assert!(b.swmr_budget.total_loss().value() > a.swmr_budget.total_loss().value());
+        assert!(b.flight_ns > a.flight_ns);
+    }
+
+    #[test]
+    fn table1_budget_is_reasonable() {
+        let layout = InterposerLayout::from_config(&PhnetConfig::paper_table1());
+        let total = layout.swmr_budget.total_loss().value();
+        // SWMR trees for 8 chiplets land in the 20-35 dB band in the
+        // photonic NoC literature; sanity-check we're in that regime.
+        assert!(
+            (15.0..40.0).contains(&total),
+            "SWMR loss {total} dB out of expected band"
+        );
+        // 64 mm bus at n_g = 4.2 → ~0.9 ns flight.
+        assert!((layout.flight_ns - 0.9).abs() < 0.2, "{}", layout.flight_ns);
+    }
+
+    #[test]
+    fn budget_breakdown_is_complete() {
+        let layout = InterposerLayout::from_config(&PhnetConfig::paper_table1());
+        let text = layout.swmr_budget.breakdown();
+        for stage in [
+            "laser coupler",
+            "modulator row",
+            "broadcast bus",
+            "broadcast split",
+            "drop filter",
+        ] {
+            assert!(text.contains(stage), "missing stage {stage}");
+        }
+    }
+}

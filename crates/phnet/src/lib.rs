@@ -1,0 +1,52 @@
+//! # lumos-phnet — reconfigurable silicon-photonic interposer network
+//!
+//! The ReSiPI-style interposer of the paper's 2.5D platform (§IV–V):
+//!
+//! * [`config`] — the Table 1 design point (64 λ × 12 Gb/s, 2 GHz
+//!   gateways, 8 compute chiplets × 4 gateways)
+//! * [`layout`] — physical waveguide layout → worst-case loss budgets for
+//!   the SWMR broadcast and SWSR return paths (Fig. 6)
+//! * [`controller`] — epoch-based reconfiguration: ReSiPI gateway
+//!   activation via PCM couplers, PROWAVES wavelength scaling, static
+//!   baselines
+//! * [`network`] — the transfer-granularity interposer simulator with
+//!   laser/tuning/EO-OE/reconfiguration energy accounting
+//!
+//! # Examples
+//!
+//! ```
+//! use lumos_phnet::prelude::*;
+//! use lumos_sim::SimTime;
+//!
+//! let mut net = PhotonicInterposer::new(PhnetConfig::paper_table1())?;
+//!
+//! // Broadcast 1 Mb of activations to all chiplets (SWMR), then write
+//! // results back from chiplet 3 (SWSR).
+//! let rd = net.read_broadcast(SimTime::ZERO, 1 << 20);
+//! let wr = net.write(rd.finish, 3, 1 << 18);
+//!
+//! let report = net.finalize(wr.finish);
+//! println!("network consumed {:.3} mJ", report.energy_j * 1e3);
+//! # Ok::<(), lumos_photonics::link::LinkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod layout;
+pub mod network;
+
+pub use config::PhnetConfig;
+pub use controller::{ActiveSet, EpochController, ReconfigCost, ReconfigPolicy};
+pub use layout::InterposerLayout;
+pub use network::{PhTransfer, PhnetReport, PhotonicInterposer};
+
+/// Commonly used types, one `use` away.
+pub mod prelude {
+    pub use crate::config::PhnetConfig;
+    pub use crate::controller::{ActiveSet, EpochController, ReconfigPolicy};
+    pub use crate::layout::InterposerLayout;
+    pub use crate::network::{PhTransfer, PhnetReport, PhotonicInterposer};
+}

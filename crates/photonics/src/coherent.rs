@@ -1,0 +1,197 @@
+//! Coherent (MZI-mesh) photonic accelerator sizing.
+//!
+//! Paper §III contrasts two accelerator families: *coherent*
+//! architectures imprint weights via interference in a single-wavelength
+//! MZI mesh; *noncoherent* ones (CrossLight, this paper's platform) use
+//! WDM and microrings. This module provides first-order sizing of a
+//! coherent N×N mesh — device count, optical depth, loss, and power — so
+//! the two families can be compared quantitatively on equal footing.
+
+use crate::mzi::Mzi;
+use crate::units::Decibels;
+
+/// Topology of a universal N×N MZI mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshTopology {
+    /// Reck triangular mesh: depth `2N−3`.
+    Reck,
+    /// Clements rectangular mesh: depth `N`, better loss balance.
+    Clements,
+}
+
+impl MeshTopology {
+    /// Optical depth (MZIs a worst-case path traverses) for size `n`.
+    pub fn depth(self, n: usize) -> usize {
+        match self {
+            MeshTopology::Reck => (2 * n).saturating_sub(3),
+            MeshTopology::Clements => n,
+        }
+    }
+}
+
+/// First-order model of an N×N coherent MZI mesh implementing one
+/// unitary of a weight matrix's SVD.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::coherent::{CoherentMesh, MeshTopology};
+///
+/// let mesh = CoherentMesh::new(64, MeshTopology::Clements);
+/// assert_eq!(mesh.mzi_count(), 64 * 63 / 2);
+/// assert_eq!(mesh.depth(), 64);
+/// assert!(mesh.insertion_loss().value() > 10.0); // deep meshes are lossy
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherentMesh {
+    n: usize,
+    topology: MeshTopology,
+    mzi: Mzi,
+}
+
+impl CoherentMesh {
+    /// Creates an `n × n` mesh with typical thermo-optic MZIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, topology: MeshTopology) -> Self {
+        assert!(n >= 2, "mesh needs at least 2 modes");
+        CoherentMesh {
+            n,
+            topology,
+            mzi: Mzi::typical(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of MZIs: `N(N−1)/2` for a universal unitary.
+    pub fn mzi_count(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
+    /// Optical depth of the worst-case path.
+    pub fn depth(&self) -> usize {
+        self.topology.depth(self.n)
+    }
+
+    /// Worst-case insertion loss: depth × per-MZI loss.
+    pub fn insertion_loss(&self) -> Decibels {
+        Decibels::new(0.5) * self.depth() as f64
+    }
+
+    /// Average phase-shifter power assuming uniformly distributed phases
+    /// (mean π/2 per shifter), milliwatts.
+    pub fn mean_phase_power_mw(&self) -> f64 {
+        self.mzi.p_pi_mw * 0.5 * self.mzi_count() as f64
+    }
+
+    /// Footprint estimate in mm², at ~0.02 mm² per thermo-optic MZI.
+    pub fn footprint_mm2(&self) -> f64 {
+        0.02 * self.mzi_count() as f64
+    }
+
+    /// MACs performed per optical pass: an N×N matrix-vector product.
+    pub fn macs_per_pass(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+}
+
+/// Compares a coherent mesh with an equivalent noncoherent (WDM
+/// microring) weight bank on headline metrics; returns
+/// `(coherent, noncoherent)` rows.
+///
+/// The noncoherent bank performing an N-long dot product needs N rings
+/// (~0.0001 mm² each), one ring's insertion loss in series per channel,
+/// and per-ring tuning power — the quantitative version of §III's
+/// "MRs have a smaller footprint and lower power consumption than MZIs".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyComparison {
+    /// Devices needed.
+    pub devices: usize,
+    /// Worst-case optical loss, dB.
+    pub loss_db: f64,
+    /// Static/tuning power, mW.
+    pub power_mw: f64,
+    /// Footprint, mm².
+    pub footprint_mm2: f64,
+}
+
+/// Builds the §III coherent-vs-noncoherent comparison at size `n`.
+pub fn compare_families(n: usize) -> (FamilyComparison, FamilyComparison) {
+    let mesh = CoherentMesh::new(n, MeshTopology::Clements);
+    let coherent = FamilyComparison {
+        devices: mesh.mzi_count(),
+        loss_db: mesh.insertion_loss().value(),
+        power_mw: mesh.mean_phase_power_mw(),
+        footprint_mm2: mesh.footprint_mm2(),
+    };
+    // Noncoherent: N weight rings on one bus; bypass loss for the other
+    // N−1 channels plus one drop; ~1 mW/ring tuning; 100 µm² per ring.
+    let noncoherent = FamilyComparison {
+        devices: n,
+        loss_db: 0.01 * (n - 1) as f64 + 0.5,
+        power_mw: 1.0 * n as f64,
+        footprint_mm2: 1e-4 * n as f64,
+    };
+    (coherent, noncoherent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mzi_count_formula() {
+        assert_eq!(CoherentMesh::new(4, MeshTopology::Clements).mzi_count(), 6);
+        assert_eq!(CoherentMesh::new(8, MeshTopology::Reck).mzi_count(), 28);
+    }
+
+    #[test]
+    fn clements_shallower_than_reck() {
+        let c = CoherentMesh::new(32, MeshTopology::Clements);
+        let r = CoherentMesh::new(32, MeshTopology::Reck);
+        assert!(c.depth() < r.depth());
+        assert!(c.insertion_loss() < r.insertion_loss());
+        assert_eq!(c.mzi_count(), r.mzi_count());
+    }
+
+    #[test]
+    fn loss_scales_with_depth() {
+        let small = CoherentMesh::new(8, MeshTopology::Clements);
+        let large = CoherentMesh::new(64, MeshTopology::Clements);
+        assert!(large.insertion_loss().value() > small.insertion_loss().value());
+        assert!((large.insertion_loss().value() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noncoherent_wins_power_and_footprint() {
+        // §III: "MRs have a smaller footprint and lower power
+        // consumption than MZIs."
+        for n in [8usize, 32, 64] {
+            let (coh, non) = compare_families(n);
+            assert!(non.power_mw < coh.power_mw, "n={n}");
+            assert!(non.footprint_mm2 < coh.footprint_mm2, "n={n}");
+            assert!(non.loss_db < coh.loss_db, "n={n}");
+            assert!(non.devices < coh.devices, "n={n}");
+        }
+    }
+
+    #[test]
+    fn macs_per_pass_quadratic() {
+        assert_eq!(
+            CoherentMesh::new(16, MeshTopology::Clements).macs_per_pass(),
+            256
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 modes")]
+    fn tiny_mesh_rejected() {
+        let _ = CoherentMesh::new(1, MeshTopology::Reck);
+    }
+}

@@ -1,0 +1,187 @@
+//! Laser source models.
+//!
+//! Paper §II: off-chip lasers emit efficiently but pay a coupling loss
+//! into the chip; on-chip lasers (VCSELs, microring lasers) integrate
+//! densely but convert electrical power poorly. Either way, the laser is
+//! usually the largest single consumer in a photonic network's power
+//! budget, and ReSiPI/PROWAVES save energy by dimming or disabling
+//! per-wavelength outputs that no active gateway needs.
+
+use crate::units::{Decibels, OpticalPower};
+
+/// Where the light source lives relative to the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaserPlacement {
+    /// External comb/DFB bank: efficient emission, pays coupling loss.
+    OffChip,
+    /// Integrated VCSEL / microring laser: no coupling loss, poor
+    /// wall-plug efficiency.
+    OnChip,
+}
+
+/// A multi-wavelength laser bank with per-wavelength enable bits.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::laser::{Laser, LaserPlacement};
+/// use lumos_photonics::units::OpticalPower;
+///
+/// let mut bank = Laser::new(LaserPlacement::OffChip, 64);
+/// bank.set_output_per_wavelength(OpticalPower::from_dbm(3.0));
+/// let all_on = bank.electrical_power_w();
+/// bank.enable_only(16);
+/// assert!(bank.electrical_power_w() < all_on / 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Laser {
+    placement: LaserPlacement,
+    wavelength_count: usize,
+    enabled: usize,
+    output_per_wavelength: OpticalPower,
+    /// Electrical→optical wall-plug efficiency (0, 1].
+    pub wall_plug_efficiency: f64,
+    /// Fibre/grating coupling loss paid by off-chip lasers.
+    pub coupling_loss: Decibels,
+}
+
+impl Laser {
+    /// Creates a bank of `wavelength_count` sources, all enabled, emitting
+    /// 0 dBm each, with placement-typical efficiency (10% off-chip, 5%
+    /// on-chip) and coupling loss (1.5 dB off-chip, 0 dB on-chip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelength_count == 0`.
+    pub fn new(placement: LaserPlacement, wavelength_count: usize) -> Self {
+        assert!(wavelength_count > 0, "laser bank needs >= 1 wavelength");
+        let (eff, coupling) = match placement {
+            LaserPlacement::OffChip => (0.10, Decibels::new(1.5)),
+            LaserPlacement::OnChip => (0.05, Decibels::ZERO),
+        };
+        Laser {
+            placement,
+            wavelength_count,
+            enabled: wavelength_count,
+            output_per_wavelength: OpticalPower::from_dbm(0.0),
+            wall_plug_efficiency: eff,
+            coupling_loss: coupling,
+        }
+    }
+
+    /// The bank's placement.
+    pub fn placement(&self) -> LaserPlacement {
+        self.placement
+    }
+
+    /// Total number of wavelengths in the bank.
+    pub fn wavelength_count(&self) -> usize {
+        self.wavelength_count
+    }
+
+    /// Number of currently enabled wavelengths.
+    pub fn enabled(&self) -> usize {
+        self.enabled
+    }
+
+    /// Enables exactly the first `n` wavelengths (clamped to the bank
+    /// size). PROWAVES-style wavelength scaling.
+    pub fn enable_only(&mut self, n: usize) {
+        self.enabled = n.min(self.wavelength_count);
+    }
+
+    /// Sets the emitted optical power per enabled wavelength (at the
+    /// laser facet, before coupling loss).
+    pub fn set_output_per_wavelength(&mut self, p: OpticalPower) {
+        self.output_per_wavelength = p;
+    }
+
+    /// Emitted power per wavelength at the facet.
+    pub fn output_per_wavelength(&self) -> OpticalPower {
+        self.output_per_wavelength
+    }
+
+    /// Optical power per wavelength actually delivered on-chip (after
+    /// coupling loss for off-chip banks).
+    pub fn delivered_per_wavelength(&self) -> OpticalPower {
+        self.output_per_wavelength.attenuate(self.coupling_loss)
+    }
+
+    /// Total optical power delivered on-chip across enabled wavelengths.
+    pub fn delivered_total(&self) -> OpticalPower {
+        self.delivered_per_wavelength() * self.enabled as f64
+    }
+
+    /// Electrical power drawn by the bank in watts
+    /// (`optical / wall-plug efficiency`, enabled wavelengths only).
+    pub fn electrical_power_w(&self) -> f64 {
+        self.output_per_wavelength.as_watts() * self.enabled as f64 / self.wall_plug_efficiency
+    }
+
+    /// Sizes the per-wavelength facet power so that `required` reaches the
+    /// chip after coupling loss, then returns the resulting electrical
+    /// power in watts. Used by the link-budget solver.
+    pub fn solve_for_delivered(&mut self, required: OpticalPower) -> f64 {
+        let facet = OpticalPower::from_mw(required.as_mw() / self.coupling_loss.to_linear());
+        self.output_per_wavelength = facet;
+        self.electrical_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_chip_pays_coupling_loss() {
+        let mut l = Laser::new(LaserPlacement::OffChip, 4);
+        l.set_output_per_wavelength(OpticalPower::from_dbm(0.0));
+        assert!((l.delivered_per_wavelength().as_dbm() + 1.5).abs() < 1e-9);
+        let on_chip = Laser::new(LaserPlacement::OnChip, 4);
+        assert!((on_chip.delivered_per_wavelength().as_dbm() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn electrical_power_scales_with_enabled() {
+        let mut l = Laser::new(LaserPlacement::OffChip, 64);
+        l.set_output_per_wavelength(OpticalPower::from_mw(1.0));
+        let full = l.electrical_power_w();
+        assert!((full - 64e-3 / 0.10).abs() < 1e-9);
+        l.enable_only(16);
+        assert!((l.electrical_power_w() - full / 4.0).abs() < 1e-9);
+        l.enable_only(1000); // clamps
+        assert_eq!(l.enabled(), 64);
+    }
+
+    #[test]
+    fn on_chip_less_efficient() {
+        let mut off = Laser::new(LaserPlacement::OffChip, 1);
+        let mut on = Laser::new(LaserPlacement::OnChip, 1);
+        off.set_output_per_wavelength(OpticalPower::from_mw(1.0));
+        on.set_output_per_wavelength(OpticalPower::from_mw(1.0));
+        assert!(on.electrical_power_w() > off.electrical_power_w());
+    }
+
+    #[test]
+    fn solve_for_delivered_closes_the_loop() {
+        let mut l = Laser::new(LaserPlacement::OffChip, 8);
+        let target = OpticalPower::from_dbm(5.0);
+        let watts = l.solve_for_delivered(target);
+        assert!((l.delivered_per_wavelength().as_dbm() - 5.0).abs() < 1e-9);
+        assert!(watts > 0.0);
+    }
+
+    #[test]
+    fn delivered_total_counts_enabled_only() {
+        let mut l = Laser::new(LaserPlacement::OnChip, 10);
+        l.set_output_per_wavelength(OpticalPower::from_mw(2.0));
+        l.enable_only(3);
+        assert!((l.delivered_total().as_mw() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 wavelength")]
+    fn empty_bank_rejected() {
+        let _ = Laser::new(LaserPlacement::OffChip, 0);
+    }
+}

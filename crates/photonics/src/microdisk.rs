@@ -1,0 +1,109 @@
+//! Microdisk resonator model.
+//!
+//! Microdisks (paper §II, used by HolyLight/LightBulb-style accelerators)
+//! trade footprint for loss: the disk geometry is more compact than a ring
+//! of equal FSR but suffers higher operating loss. We model them as a
+//! lossier, smaller microring.
+
+use crate::mrr::Microring;
+use crate::units::{Decibels, Wavelength};
+
+/// A microdisk resonator: compact footprint, higher operating loss.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::microdisk::Microdisk;
+/// use lumos_photonics::units::Wavelength;
+///
+/// let md = Microdisk::new(Wavelength::from_nm(1550.0), 6_000, 2.5);
+/// let ring_area = lumos_photonics::mrr::Microring::new(
+///     Wavelength::from_nm(1550.0), 6_000, 5.0);
+/// assert!(md.footprint_um2() < 100.0);
+/// assert!(md.drop_transmission(Wavelength::from_nm(1550.0)) > 0.5);
+/// # let _ = ring_area;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Microdisk {
+    inner: Microring,
+    radius_um: f64,
+}
+
+impl Microdisk {
+    /// Extra drop-port loss a disk pays relative to a ring, in dB.
+    pub const EXCESS_LOSS_DB: f64 = 0.7;
+
+    /// Creates a microdisk resonant at `resonance` with the given loaded Q
+    /// and radius (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Microring::new`].
+    pub fn new(resonance: Wavelength, q_factor: u32, radius_um: f64) -> Self {
+        let inner = Microring::new(resonance, q_factor, radius_um)
+            .with_drop_loss(Decibels::new(0.5 + Self::EXCESS_LOSS_DB))
+            .with_through_loss(Decibels::new(0.02));
+        Microdisk { inner, radius_um }
+    }
+
+    /// The resonant wavelength.
+    pub fn resonance(&self) -> Wavelength {
+        self.inner.resonance()
+    }
+
+    /// Device footprint in µm² (π r²).
+    pub fn footprint_um2(&self) -> f64 {
+        std::f64::consts::PI * self.radius_um * self.radius_um
+    }
+
+    /// Linear power transmission to the drop port at `probe`.
+    pub fn drop_transmission(&self, probe: Wavelength) -> f64 {
+        self.inner.drop_transmission(probe)
+    }
+
+    /// Linear power transmission to the through port at `probe`.
+    pub fn through_transmission(&self, probe: Wavelength) -> f64 {
+        self.inner.through_transmission(probe)
+    }
+
+    /// Free spectral range in nanometres.
+    pub fn fsr_nm(&self) -> f64 {
+        self.inner.fsr_nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrr::Microring;
+
+    #[test]
+    fn lossier_than_equivalent_ring() {
+        let w = Wavelength::from_nm(1550.0);
+        let disk = Microdisk::new(w, 6000, 3.0);
+        let ring = Microring::new(w, 6000, 3.0);
+        assert!(disk.drop_transmission(w) < ring.drop_transmission(w));
+    }
+
+    #[test]
+    fn smaller_radius_larger_fsr() {
+        let w = Wavelength::from_nm(1550.0);
+        let small = Microdisk::new(w, 6000, 2.0);
+        let large = Microdisk::new(w, 6000, 4.0);
+        assert!(small.fsr_nm() > large.fsr_nm());
+    }
+
+    #[test]
+    fn footprint_formula() {
+        let d = Microdisk::new(Wavelength::from_nm(1550.0), 6000, 2.0);
+        assert!((d.footprint_um2() - std::f64::consts::PI * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn still_filters() {
+        let w = Wavelength::from_nm(1550.0);
+        let d = Microdisk::new(w, 6000, 2.5);
+        assert!(d.drop_transmission(w) > 10.0 * d.drop_transmission(Wavelength::from_nm(1552.0)));
+        assert!(d.through_transmission(w) < d.through_transmission(Wavelength::from_nm(1545.0)));
+    }
+}

@@ -1,0 +1,360 @@
+//! Microring resonator (MR) model — Fig. 1 of the paper.
+//!
+//! MRs are the workhorse device of noncoherent photonic accelerators and
+//! interposer networks: as *filters* they drop one WDM channel to a
+//! photodetector, as *modulators* they imprint data onto a wavelength, and
+//! in MAC units consecutive amplitude modulation by MRs performs the
+//! multiply of broadcast-and-weight. This module models their spectral
+//! response (Lorentzian), free spectral range, and electro-optic /
+//! thermo-optic tuning power.
+
+use crate::units::{Decibels, Wavelength};
+
+/// Geometry and quality parameters of a microring resonator.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::mrr::Microring;
+/// use lumos_photonics::units::Wavelength;
+///
+/// let mr = Microring::new(Wavelength::from_nm(1550.0), 8_000, 5.0);
+/// // On resonance nearly everything drops…
+/// assert!(mr.drop_transmission(Wavelength::from_nm(1550.0)) > 0.8);
+/// // …one FWHM away, a quarter of the peak drops.
+/// let off = Wavelength::from_nm(1550.0 + mr.fwhm_nm());
+/// assert!(mr.drop_transmission(off) < 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Microring {
+    resonance: Wavelength,
+    /// Loaded quality factor.
+    q_factor: f64,
+    /// Ring radius in micrometres (sets the free spectral range).
+    radius_um: f64,
+    /// Group index of the ring waveguide.
+    group_index: f64,
+    /// Peak drop-port transmission (linear, ≤ 1); the remainder is the
+    /// drop-port insertion loss.
+    drop_peak: f64,
+    /// Off-resonance through-port transmission (linear, ≤ 1); models the
+    /// per-ring through loss every bypassing wavelength pays.
+    through_peak: f64,
+    /// Fraction of on-resonance power removed from the through port
+    /// (sets the extinction ratio; 0.99 ⇒ 20 dB ER).
+    extinction_depth: f64,
+}
+
+impl Microring {
+    /// Creates a ring resonant at `resonance` with loaded Q `q_factor` and
+    /// radius `radius_um` µm, using typical insertion losses
+    /// (0.5 dB drop, 0.01 dB through) and group index 4.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_factor < 100` (unphysically low for a resonator) or
+    /// `radius_um` is not strictly positive.
+    pub fn new(resonance: Wavelength, q_factor: u32, radius_um: f64) -> Self {
+        assert!(q_factor >= 100, "Q factor too low: {q_factor}");
+        assert!(
+            radius_um.is_finite() && radius_um > 0.0,
+            "radius must be positive, got {radius_um}"
+        );
+        Microring {
+            resonance,
+            q_factor: q_factor as f64,
+            radius_um,
+            group_index: 4.2,
+            drop_peak: Decibels::new(0.5).to_linear(),
+            through_peak: Decibels::new(0.01).to_linear(),
+            extinction_depth: 0.99,
+        }
+    }
+
+    /// Overrides the drop-port insertion loss.
+    pub fn with_drop_loss(mut self, loss: Decibels) -> Self {
+        self.drop_peak = loss.to_linear();
+        self
+    }
+
+    /// Overrides the per-ring through (bypass) loss.
+    pub fn with_through_loss(mut self, loss: Decibels) -> Self {
+        self.through_peak = loss.to_linear();
+        self
+    }
+
+    /// Overrides the through-port extinction ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `er` is not strictly positive.
+    pub fn with_extinction_ratio(mut self, er: Decibels) -> Self {
+        assert!(er.value() > 0.0, "extinction ratio must be positive");
+        self.extinction_depth = 1.0 - er.to_linear();
+        self
+    }
+
+    /// The resonant wavelength.
+    pub fn resonance(&self) -> Wavelength {
+        self.resonance
+    }
+
+    /// Loaded quality factor.
+    pub fn q_factor(&self) -> f64 {
+        self.q_factor
+    }
+
+    /// Full width at half maximum of the resonance, in nanometres
+    /// (`λ / Q`).
+    pub fn fwhm_nm(&self) -> f64 {
+        self.resonance.as_nm() / self.q_factor
+    }
+
+    /// Free spectral range in nanometres: `FSR = λ² / (n_g · 2πR)`.
+    ///
+    /// The FSR caps how many WDM channels one ring design can address
+    /// without aliasing; a 5 µm ring at 1550 nm gives ~18 nm.
+    pub fn fsr_nm(&self) -> f64 {
+        let lambda_nm = self.resonance.as_nm();
+        let circumference_nm = 2.0 * std::f64::consts::PI * self.radius_um * 1e3;
+        lambda_nm * lambda_nm / (self.group_index * circumference_nm)
+    }
+
+    /// Lorentzian lineshape value in `[0, 1]` at spectral detuning
+    /// `delta_nm` from resonance.
+    fn lineshape(&self, delta_nm: f64) -> f64 {
+        let half_width = self.fwhm_nm() / 2.0;
+        1.0 / (1.0 + (delta_nm / half_width).powi(2))
+    }
+
+    /// Linear power transmission from input to **drop** port at `probe`.
+    pub fn drop_transmission(&self, probe: Wavelength) -> f64 {
+        self.drop_peak * self.lineshape(self.resonance.distance_nm(probe))
+    }
+
+    /// Linear power transmission from input to **through** port at `probe`.
+    ///
+    /// On resonance the through port is nearly extinguished (set by the
+    /// extinction depth); far from resonance only the small bypass loss
+    /// remains.
+    pub fn through_transmission(&self, probe: Wavelength) -> f64 {
+        let dropped = self.lineshape(self.resonance.distance_nm(probe));
+        self.through_peak * (1.0 - self.extinction_depth * dropped)
+    }
+
+    /// Extinction ratio between on- and off-resonance through transmission.
+    pub fn extinction_ratio(&self) -> Decibels {
+        let on = self.through_transmission(self.resonance);
+        let off = self.through_peak;
+        Decibels::from_linear(on / off)
+    }
+
+    /// Returns a copy re-tuned so its resonance sits at `target`.
+    pub fn tuned_to(mut self, target: Wavelength) -> Self {
+        self.resonance = target;
+        self
+    }
+}
+
+/// How an MR's resonance is shifted at runtime (paper §II): fast, low-range
+/// electro-optic tuning for data, slow but wide thermo-optic tuning for
+/// locking against fabrication and thermal drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningMechanism {
+    /// Carrier-based electro-optic tuning: sub-ns, µW-scale, small range.
+    ElectroOptic,
+    /// Heater-based thermo-optic tuning: µs-scale, mW-scale, wide range.
+    ThermoOptic,
+}
+
+/// Tuning-power model for a bank of microrings.
+///
+/// Follows the convention of the CrossLight-family papers: each ring pays
+/// (a) a static *locking* power proportional to the expected fabrication
+/// variation it must compensate, plus (b) a dynamic component when a new
+/// value is imprinted.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::mrr::{TuningCircuit, TuningMechanism};
+///
+/// let tc = TuningCircuit::typical();
+/// let p = tc.shift_power_mw(TuningMechanism::ThermoOptic, 0.5);
+/// assert!(p > 0.0);
+/// // EO tuning is far cheaper per nm but range-limited.
+/// assert!(tc.shift_power_mw(TuningMechanism::ElectroOptic, 0.05) < p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningCircuit {
+    /// Thermo-optic efficiency: nm of shift per mW of heater power.
+    pub to_nm_per_mw: f64,
+    /// Electro-optic efficiency: nm of shift per mW of injected power.
+    pub eo_nm_per_mw: f64,
+    /// Maximum usable EO shift before free-carrier loss dominates, nm.
+    pub eo_max_shift_nm: f64,
+    /// EO response time in picoseconds (sets modulation bandwidth).
+    pub eo_response_ps: f64,
+    /// TO response time in picoseconds.
+    pub to_response_ps: f64,
+}
+
+impl TuningCircuit {
+    /// Typical values from the silicon-photonic accelerator literature.
+    pub fn typical() -> Self {
+        TuningCircuit {
+            to_nm_per_mw: 0.25,
+            eo_nm_per_mw: 2.0,
+            eo_max_shift_nm: 0.8,
+            eo_response_ps: 100.0,
+            to_response_ps: 4_000_000.0, // ~4 µs
+        }
+    }
+
+    /// Power in mW to hold a resonance shift of `shift_nm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift is negative, not finite, or exceeds the EO
+    /// range when EO tuning is selected.
+    pub fn shift_power_mw(&self, mechanism: TuningMechanism, shift_nm: f64) -> f64 {
+        assert!(
+            shift_nm.is_finite() && shift_nm >= 0.0,
+            "shift must be non-negative, got {shift_nm}"
+        );
+        match mechanism {
+            TuningMechanism::ElectroOptic => {
+                assert!(
+                    shift_nm <= self.eo_max_shift_nm,
+                    "EO tuning range exceeded: {shift_nm} nm > {} nm",
+                    self.eo_max_shift_nm
+                );
+                shift_nm / self.eo_nm_per_mw
+            }
+            TuningMechanism::ThermoOptic => shift_nm / self.to_nm_per_mw,
+        }
+    }
+
+    /// Expected per-ring locking power (mW) to compensate a fabrication
+    /// variation with standard deviation `sigma_nm`, assuming the mean
+    /// absolute shift of a half-normal distribution (`σ·√(2/π)`) is
+    /// corrected thermally.
+    pub fn expected_lock_power_mw(&self, sigma_nm: f64) -> f64 {
+        assert!(
+            sigma_nm.is_finite() && sigma_nm >= 0.0,
+            "sigma must be non-negative"
+        );
+        let mean_abs = sigma_nm * (2.0 / std::f64::consts::PI).sqrt();
+        self.shift_power_mw(TuningMechanism::ThermoOptic, mean_abs)
+    }
+
+    /// Response latency of the selected mechanism in picoseconds.
+    pub fn response_ps(&self, mechanism: TuningMechanism) -> f64 {
+        match mechanism {
+            TuningMechanism::ElectroOptic => self.eo_response_ps,
+            TuningMechanism::ThermoOptic => self.to_response_ps,
+        }
+    }
+}
+
+impl Default for TuningCircuit {
+    fn default() -> Self {
+        TuningCircuit::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Microring {
+        Microring::new(Wavelength::from_nm(1550.0), 8_000, 5.0)
+    }
+
+    #[test]
+    fn drop_peaks_on_resonance() {
+        let mr = ring();
+        let on = mr.drop_transmission(Wavelength::from_nm(1550.0));
+        let off = mr.drop_transmission(Wavelength::from_nm(1551.0));
+        assert!(on > 10.0 * off);
+        assert!(on <= 1.0);
+    }
+
+    #[test]
+    fn through_dips_on_resonance() {
+        let mr = ring();
+        let on = mr.through_transmission(Wavelength::from_nm(1550.0));
+        let off = mr.through_transmission(Wavelength::from_nm(1545.0));
+        assert!(on < off);
+        assert!(off <= 1.0);
+    }
+
+    #[test]
+    fn fwhm_matches_q() {
+        let mr = ring();
+        assert!((mr.fwhm_nm() - 1550.0 / 8000.0).abs() < 1e-12);
+        // Half the peak drops exactly one half-width away.
+        let half = Wavelength::from_nm(1550.0 + mr.fwhm_nm() / 2.0);
+        let ratio = mr.drop_transmission(half) / mr.drop_transmission(mr.resonance());
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fsr_scales_inversely_with_radius() {
+        let small = Microring::new(Wavelength::from_nm(1550.0), 8000, 5.0);
+        let large = Microring::new(Wavelength::from_nm(1550.0), 8000, 10.0);
+        assert!(small.fsr_nm() > large.fsr_nm());
+        // 5 µm, n_g = 4.2: FSR = 1550² / (4.2 · 2π·5000) ≈ 18.2 nm
+        assert!((small.fsr_nm() - 18.2).abs() < 0.5, "got {}", small.fsr_nm());
+    }
+
+    #[test]
+    fn extinction_ratio_positive() {
+        let er = ring().extinction_ratio();
+        assert!(er.value() > 10.0, "ER too small: {er}");
+    }
+
+    #[test]
+    fn tuned_to_moves_resonance() {
+        let mr = ring().tuned_to(Wavelength::from_nm(1552.4));
+        assert!((mr.resonance().as_nm() - 1552.4).abs() < 1e-12);
+        assert!(mr.drop_transmission(Wavelength::from_nm(1552.4)) > 0.8);
+    }
+
+    #[test]
+    fn tuning_power_linear_in_shift() {
+        let tc = TuningCircuit::typical();
+        let p1 = tc.shift_power_mw(TuningMechanism::ThermoOptic, 0.2);
+        let p2 = tc.shift_power_mw(TuningMechanism::ThermoOptic, 0.4);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eo_faster_than_to() {
+        let tc = TuningCircuit::typical();
+        assert!(
+            tc.response_ps(TuningMechanism::ElectroOptic)
+                < tc.response_ps(TuningMechanism::ThermoOptic)
+        );
+    }
+
+    #[test]
+    fn lock_power_grows_with_variation() {
+        let tc = TuningCircuit::typical();
+        assert_eq!(tc.expected_lock_power_mw(0.0), 0.0);
+        assert!(tc.expected_lock_power_mw(0.4) > tc.expected_lock_power_mw(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "EO tuning range exceeded")]
+    fn eo_range_enforced() {
+        let tc = TuningCircuit::typical();
+        let _ = tc.shift_power_mw(TuningMechanism::ElectroOptic, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q factor too low")]
+    fn rejects_tiny_q() {
+        let _ = Microring::new(Wavelength::from_nm(1550.0), 10, 5.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Mach–Zehnder interferometer (MZI) 2×2 switch model.
+//!
+//! MZIs (paper §II) are the building block of *coherent* photonic
+//! accelerators and of broadband optical switches. Two 3 dB directional
+//! couplers sandwich a pair of waveguide arms with phase shifters; the
+//! relative arm phase steers power between the bar and cross ports.
+
+use crate::units::Decibels;
+
+/// A 2×2 MZI with a phase shifter on one arm.
+///
+/// With relative arm phase `φ`, ideal power transfer is
+/// `cross = cos²(φ/2)`, `bar = sin²(φ/2)`; an excess insertion loss
+/// applies to both outputs.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::mzi::Mzi;
+///
+/// let mut sw = Mzi::typical();
+/// sw.set_phase(0.0);
+/// assert!(sw.cross_transmission() > 0.8); // cross state
+/// sw.set_phase(std::f64::consts::PI);
+/// assert!(sw.bar_transmission() > 0.8);   // bar state
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mzi {
+    phase_rad: f64,
+    insertion_loss: Decibels,
+    /// Power to hold a π phase shift, in mW (thermo-optic phase shifter).
+    pub p_pi_mw: f64,
+    /// Switching time in picoseconds.
+    pub switch_time_ps: f64,
+}
+
+impl Mzi {
+    /// Typical thermo-optic silicon MZI: 0.5 dB insertion loss, ~20 mW
+    /// P_π, ~10 µs switching.
+    pub fn typical() -> Self {
+        Mzi {
+            phase_rad: 0.0,
+            insertion_loss: Decibels::new(0.5),
+            p_pi_mw: 20.0,
+            switch_time_ps: 1e7,
+        }
+    }
+
+    /// Sets the relative arm phase in radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not finite.
+    pub fn set_phase(&mut self, phase: f64) {
+        assert!(phase.is_finite(), "phase must be finite");
+        self.phase_rad = phase;
+    }
+
+    /// Current relative arm phase in radians.
+    pub fn phase(&self) -> f64 {
+        self.phase_rad
+    }
+
+    /// Linear power transmission to the cross port.
+    pub fn cross_transmission(&self) -> f64 {
+        let t = (self.phase_rad / 2.0).cos().powi(2);
+        t * self.insertion_loss.to_linear()
+    }
+
+    /// Linear power transmission to the bar port.
+    pub fn bar_transmission(&self) -> f64 {
+        let t = (self.phase_rad / 2.0).sin().powi(2);
+        t * self.insertion_loss.to_linear()
+    }
+
+    /// Electrical power currently dissipated by the phase shifter, mW.
+    ///
+    /// Phase power is linear in φ for a thermo-optic shifter
+    /// (`P = P_π · φ/π`), using the principal value of the phase.
+    pub fn phase_power_mw(&self) -> f64 {
+        let phi = self.phase_rad.rem_euclid(2.0 * std::f64::consts::PI);
+        let principal = phi.min(2.0 * std::f64::consts::PI - phi);
+        self.p_pi_mw * principal / std::f64::consts::PI
+    }
+
+    /// Weighting transmission used by coherent accelerators: attenuates
+    /// the input field amplitude by `weight ∈ [0, 1]` on the cross port.
+    ///
+    /// Returns the phase that realizes the weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `[0, 1]`.
+    pub fn phase_for_weight(weight: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "weight must be in [0,1], got {weight}"
+        );
+        // cross amplitude = cos(φ/2) -> power = cos²(φ/2) = weight²
+        2.0 * weight.acos()
+    }
+}
+
+impl Default for Mzi {
+    fn default() -> Self {
+        Mzi::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn power_conservation_with_loss() {
+        let mut m = Mzi::typical();
+        for phase in [0.0, 0.3, PI / 2.0, PI, 1.8 * PI] {
+            m.set_phase(phase);
+            let total = m.cross_transmission() + m.bar_transmission();
+            let il = Decibels::new(0.5).to_linear();
+            assert!((total - il).abs() < 1e-9, "leaked power at φ={phase}");
+        }
+    }
+
+    #[test]
+    fn switching_states() {
+        let mut m = Mzi::typical();
+        m.set_phase(0.0);
+        assert!(m.cross_transmission() > 0.88);
+        assert!(m.bar_transmission() < 1e-12);
+        m.set_phase(PI);
+        assert!(m.bar_transmission() > 0.88);
+        assert!(m.cross_transmission() < 1e-9);
+    }
+
+    #[test]
+    fn half_power_at_quadrature() {
+        let mut m = Mzi::typical();
+        m.set_phase(PI / 2.0);
+        let ratio = m.cross_transmission() / m.bar_transmission();
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_power_linear_and_periodic() {
+        let mut m = Mzi::typical();
+        m.set_phase(PI);
+        assert!((m.phase_power_mw() - 20.0).abs() < 1e-9);
+        m.set_phase(PI / 2.0);
+        assert!((m.phase_power_mw() - 10.0).abs() < 1e-9);
+        // 2π is equivalent to 0.
+        m.set_phase(2.0 * PI);
+        assert!(m.phase_power_mw() < 1e-9);
+    }
+
+    #[test]
+    fn weight_phase_inverse() {
+        for w in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let phi = Mzi::phase_for_weight(w);
+            let mut m = Mzi::typical();
+            m.set_phase(phi);
+            // cross power should equal w² (times insertion loss)
+            let expect = w * w * Decibels::new(0.5).to_linear();
+            assert!((m.cross_transmission() - expect).abs() < 1e-9, "w={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in [0,1]")]
+    fn weight_out_of_range() {
+        let _ = Mzi::phase_for_weight(1.5);
+    }
+}

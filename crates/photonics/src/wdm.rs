@@ -1,0 +1,143 @@
+//! Wavelength-division multiplexing channel plans.
+//!
+//! A channel plan fixes how many wavelengths share a waveguide and at what
+//! spectral spacing — the paper's Table 1 uses 64 wavelengths per gateway.
+
+use crate::units::Wavelength;
+
+/// A uniform WDM channel grid.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_photonics::wdm::ChannelPlan;
+///
+/// let plan = ChannelPlan::dense(64);
+/// assert_eq!(plan.count(), 64);
+/// assert!(plan.span_nm() < 52.0);
+/// let ch = plan.wavelength(0);
+/// assert!(ch.as_nm() > 1520.0 && ch.as_nm() < 1580.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelPlan {
+    first: Wavelength,
+    spacing_nm: f64,
+    count: usize,
+}
+
+impl ChannelPlan {
+    /// A DWDM grid with 0.8 nm (~100 GHz) spacing centred on the C band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn dense(count: usize) -> Self {
+        ChannelPlan::new(count, 0.8)
+    }
+
+    /// A grid with custom spacing, centred on the C band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `spacing_nm` is not strictly positive.
+    pub fn new(count: usize, spacing_nm: f64) -> Self {
+        assert!(count > 0, "channel plan needs at least one channel");
+        assert!(
+            spacing_nm.is_finite() && spacing_nm > 0.0,
+            "spacing must be positive, got {spacing_nm}"
+        );
+        let span = spacing_nm * (count - 1) as f64;
+        let first = Wavelength::C_BAND_CENTER.offset_nm(-span / 2.0);
+        ChannelPlan {
+            first,
+            spacing_nm,
+            count,
+        }
+    }
+
+    /// Number of channels.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Channel spacing in nanometres.
+    pub fn spacing_nm(&self) -> f64 {
+        self.spacing_nm
+    }
+
+    /// Approximate channel spacing in GHz at the C band.
+    pub fn spacing_ghz(&self) -> f64 {
+        // Δf ≈ c·Δλ/λ²; at 1550 nm, 0.8 nm ≈ 99.9 GHz.
+        299_792_458.0 * self.spacing_nm * 1e-9 / (1.55e-6 * 1.55e-6) / 1e9
+    }
+
+    /// Total spectral span from first to last channel, nm.
+    pub fn span_nm(&self) -> f64 {
+        self.spacing_nm * (self.count - 1) as f64
+    }
+
+    /// The `i`-th channel wavelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count`.
+    pub fn wavelength(&self, i: usize) -> Wavelength {
+        assert!(i < self.count, "channel {i} out of range ({})", self.count);
+        self.first.offset_nm(self.spacing_nm * i as f64)
+    }
+
+    /// Iterates over all channel wavelengths in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = Wavelength> + '_ {
+        (0..self.count).map(move |i| self.wavelength(i))
+    }
+
+    /// Whether the plan fits inside one free spectral range of `fsr_nm`
+    /// (otherwise ring filters alias across the grid).
+    pub fn fits_fsr(&self, fsr_nm: f64) -> bool {
+        self.span_nm() + self.spacing_nm <= fsr_nm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_uniform_and_centred() {
+        let p = ChannelPlan::dense(8);
+        let w: Vec<f64> = p.iter().map(|x| x.as_nm()).collect();
+        for pair in w.windows(2) {
+            assert!((pair[1] - pair[0] - 0.8).abs() < 1e-9);
+        }
+        let mid = (w[3] + w[4]) / 2.0;
+        assert!((mid - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spacing_ghz_anchor() {
+        let p = ChannelPlan::dense(2);
+        assert!((p.spacing_ghz() - 99.8).abs() < 1.0, "got {}", p.spacing_ghz());
+    }
+
+    #[test]
+    fn fsr_check() {
+        let p = ChannelPlan::dense(16); // span 12 nm
+        assert!(p.fits_fsr(18.0));
+        assert!(!p.fits_fsr(10.0));
+    }
+
+    #[test]
+    fn single_channel_plan() {
+        let p = ChannelPlan::dense(1);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.span_nm(), 0.0);
+        assert!((p.wavelength(0).as_nm() - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_index_bounds() {
+        let p = ChannelPlan::dense(4);
+        let _ = p.wavelength(4);
+    }
+}

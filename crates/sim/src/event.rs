@@ -1,0 +1,242 @@
+//! Deterministic event queue for discrete-event simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled at a specific simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number used to break ties deterministically
+    /// (FIFO among events scheduled for the same instant).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event,
+// breaking ties by insertion order so same-time events fire FIFO.
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO
+/// tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(5), "late");
+/// q.push(SimTime::from_ns(1), "early");
+/// q.push(SimTime::from_ns(1), "early-second");
+///
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early-second"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation clock: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past indicates a model bug and would silently corrupt causality.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current clock.
+    pub fn push_after(&mut self, delay: SimTime, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue produced time travel");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// Drives an [`EventQueue`] until it drains or a step budget is exhausted.
+///
+/// The handler receives the current time, the event, and the queue so it
+/// can schedule follow-up events. Returns the number of events processed.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_sim::{run_until_idle, EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(1), 3u32);
+/// let mut fired = Vec::new();
+/// let n = run_until_idle(&mut q, usize::MAX, |now, ev, q| {
+///     fired.push((now, ev));
+///     if ev > 0 {
+///         q.push_after(SimTime::from_ns(1), ev - 1);
+///     }
+/// });
+/// assert_eq!(n, 4);
+/// assert_eq!(fired.last().map(|&(_, e)| e), Some(0));
+/// ```
+pub fn run_until_idle<E: Eq>(
+    queue: &mut EventQueue<E>,
+    max_steps: usize,
+    mut handler: impl FnMut(SimTime, E, &mut EventQueue<E>),
+) -> usize {
+    let mut steps = 0;
+    while steps < max_steps {
+        let Some((now, ev)) = queue.pop() else { break };
+        handler(now, ev, queue);
+        steps += 1;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(3), 'c');
+        q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime::from_ns(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(5), ());
+        q.push(SimTime::from_ns(2), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        let _ = q.pop();
+        q.push(SimTime::from_ns(1), ());
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 0u8);
+        let _ = q.pop();
+        q.push_after(SimTime::from_ns(5), 1u8);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(15)));
+    }
+
+    #[test]
+    fn run_until_idle_respects_budget() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        // A self-perpetuating event stream stops at the step budget.
+        let n = run_until_idle(&mut q, 10, |_, (), q| {
+            q.push_after(SimTime::from_ns(1), ());
+        });
+        assert_eq!(n, 10);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Open challenge 3 from the paper's conclusion: design-space
+//! exploration over the number of wavelengths and the number of gateways
+//! per chiplet, "to create an optimized architecture tailored to DNNs of
+//! interest".
+//!
+//! Sweeps the photonic interposer configuration and reports
+//! latency/power/EPB for a representative large model (ResNet-50), then
+//! prints the Pareto front.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use lumos::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    wavelengths: usize,
+    gateways: usize,
+    latency_ms: f64,
+    power_w: f64,
+    epb_nj: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::resnet50();
+    let mut points = Vec::new();
+
+    println!(
+        "{:>4} {:>4} {:>12} {:>10} {:>12}",
+        "λ", "gw", "lat (ms)", "P (W)", "EPB (nJ/b)"
+    );
+    for wavelengths in [16usize, 32, 48, 64] {
+        for gateways in [1usize, 2, 4, 8] {
+            let mut cfg = PlatformConfig::paper_table1();
+            cfg.phnet.wavelengths = wavelengths;
+            cfg.phnet.gateways_per_chiplet = gateways;
+            let runner = Runner::new(cfg);
+            match runner.run(&Platform::Siph2p5D, &model) {
+                Ok(r) => {
+                    let p = Point {
+                        wavelengths,
+                        gateways,
+                        latency_ms: r.latency_ms(),
+                        power_w: r.avg_power_w(),
+                        epb_nj: r.epb_nj(),
+                    };
+                    println!(
+                        "{:>4} {:>4} {:>12.3} {:>10.1} {:>12.3}",
+                        p.wavelengths, p.gateways, p.latency_ms, p.power_w, p.epb_nj
+                    );
+                    points.push(p);
+                }
+                Err(e) => {
+                    // Infeasible corners (e.g. laser ceiling) are part of
+                    // the answer, not a crash.
+                    println!("{wavelengths:>4} {gateways:>4} {:>12}", format!("-- {e}"));
+                }
+            }
+        }
+    }
+
+    // Pareto front on (latency, power).
+    let mut front: Vec<Point> = Vec::new();
+    for &p in &points {
+        let dominated = points.iter().any(|q| {
+            (q.latency_ms < p.latency_ms && q.power_w <= p.power_w)
+                || (q.latency_ms <= p.latency_ms && q.power_w < p.power_w)
+        });
+        if !dominated {
+            front.push(p);
+        }
+    }
+    front.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+
+    println!("\nPareto front (latency vs power), ResNet-50:");
+    for p in front {
+        println!(
+            "  λ={:<3} gw={:<2} -> {:.3} ms @ {:.1} W",
+            p.wavelengths, p.gateways, p.latency_ms, p.power_w
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Fig. 7 as a terminal chart: per-model normalized latency/power/EPB
+//! across the three platforms, with ASCII bars.
+//!
+//! ```text
+//! cargo run --example model_sweep
+//! ```
+
+use lumos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let models = zoo::table2_models();
+
+    let mut rows = Vec::new();
+    for model in &models {
+        let mono = runner.run(&Platform::Monolithic, model)?;
+        let elec = runner.run(&Platform::Elec2p5D, model)?;
+        let siph = runner.run(&Platform::Siph2p5D, model)?;
+        rows.push((model.name().to_owned(), mono, elec, siph));
+    }
+
+    section("normalized total latency (mono = 1.0)", &rows, |r| {
+        r.latency_ms()
+    });
+    section("normalized power (mono = 1.0)", &rows, |r| r.avg_power_w());
+    section("normalized energy-per-bit (mono = 1.0)", &rows, |r| {
+        r.epb_nj()
+    });
+    Ok(())
+}
+
+fn section(
+    title: &str,
+    rows: &[(String, lumos::core::RunReport, lumos::core::RunReport, lumos::core::RunReport)],
+    metric: impl Fn(&lumos::core::RunReport) -> f64,
+) {
+    println!("== {title} ==");
+    for (name, mono, elec, siph) in rows {
+        let base = metric(mono);
+        println!("{name:>14}:");
+        bar("mono", 1.0);
+        bar("elec", metric(elec) / base);
+        bar("siph", metric(siph) / base);
+    }
+    println!();
+}
+
+fn bar(label: &str, value: f64) {
+    // Log-ish scale so 0.1x and 10x both stay on screen.
+    let width = ((value.max(0.01).log10() + 2.0) * 14.0).clamp(1.0, 56.0) as usize;
+    println!("    {label:<5} {:<56} {value:>8.3}", "#".repeat(width));
+}

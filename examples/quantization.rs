@@ -1,0 +1,60 @@
+//! Heterogeneous quantization on the photonic platform (paper §III,
+//! ref. [22]): per-layer bit-widths trade interposer traffic (and
+//! therefore latency and interface energy) against accuracy headroom.
+//!
+//! ```text
+//! cargo run --example quantization
+//! ```
+
+use lumos::dnn::quantization::{extract_quantized_workloads, QuantPolicy, QuantizationScheme};
+use lumos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let model = zoo::vgg16(); // most traffic-sensitive of Table 2
+
+    let policies: [(&str, QuantPolicy); 4] = [
+        ("uniform 16-bit", QuantPolicy::Uniform { bits: 16 }),
+        ("uniform 8-bit", QuantPolicy::Uniform { bits: 8 }),
+        (
+            "edges 8 / interior 4",
+            QuantPolicy::EdgesHigh {
+                edge_bits: 8,
+                interior_bits: 4,
+            },
+        ),
+        (
+            "traffic-aware 8..4",
+            QuantPolicy::TrafficAware {
+                max_bits: 8,
+                min_bits: 4,
+            },
+        ),
+    ];
+
+    println!("VGG-16 on 2.5D-CrossLight-SiPh:");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>12}",
+        "scheme", "mean bits", "traffic(Gb)", "lat (ms)", "EPB (nJ/b)"
+    );
+    for (label, policy) in policies {
+        let scheme = QuantizationScheme::assign(&model, policy);
+        let work = extract_quantized_workloads(&model, &scheme);
+        let report = runner.run_workloads(&Platform::Siph2p5D, model.name(), &work)?;
+        println!(
+            "{:<22} {:>10.2} {:>12.3} {:>10.3} {:>12.3}",
+            label,
+            scheme.mean_weight_bits(&model),
+            report.bits_moved as f64 / 1e9,
+            report.latency_ms(),
+            report.epb_nj(),
+        );
+    }
+
+    println!(
+        "\nNarrower layers stream fewer bits through the interposer; the\n\
+         traffic-aware scheme squeezes the 102.8M-parameter FC1 hardest,\n\
+         which is where VGG-16's weight traffic lives."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run one DNN on the paper's 2.5D photonic platform.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lumos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table 1 design point: 1 HBM chiplet + 8 compute
+    // chiplets (dense / 7×7 / 5×5 / 3×3 MAC classes) on a reconfigurable
+    // silicon-photonic interposer with 64 wavelengths × 12 Gb/s.
+    let cfg = PlatformConfig::paper_table1();
+    let runner = Runner::new(cfg);
+
+    // Run ResNet-50 on all three platform organizations.
+    let model = zoo::resnet50();
+    println!("model: {}\n", model.summary());
+
+    for platform in Platform::all() {
+        let report = runner.run(&platform, &model)?;
+        println!(
+            "{:<22} latency {:>8.3} ms   power {:>6.1} W   EPB {:>6.3} nJ/bit",
+            report.platform.label(),
+            report.latency_ms(),
+            report.avg_power_w(),
+            report.epb_nj(),
+        );
+    }
+
+    // Drill into the photonic run: which layers are communication-bound?
+    let report = runner.run(&Platform::Siph2p5D, &model)?;
+    let comm_bound = report.layers.iter().filter(|l| l.comm_bound()).count();
+    println!(
+        "\n2.5D-SiPh: {}/{} layers are communication-bound; slowest layer:",
+        comm_bound,
+        report.layers.len()
+    );
+    let slowest = report
+        .layers
+        .iter()
+        .max_by(|a, b| a.span_s().total_cmp(&b.span_s()))
+        .expect("model has layers");
+    println!(
+        "  {} ({:?}): {:.1} µs compute, {:.1} µs inbound, {:.1} µs outbound",
+        slowest.name,
+        slowest.class,
+        slowest.compute_s * 1e6,
+        slowest.comm_in_s * 1e6,
+        slowest.comm_out_s * 1e6,
+    );
+    Ok(())
+}

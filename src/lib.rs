@@ -1,0 +1,47 @@
+//! # LUMOS — 2.5D chiplet ML accelerators with silicon photonics
+//!
+//! Facade crate re-exporting the LUMOS workspace: a Rust reproduction of
+//! *"Machine Learning Accelerators in 2.5D Chiplet Platforms with Silicon
+//! Photonics"* (DATE 2023).
+//!
+//! See the [`prelude`] for the most common entry points, and the workspace
+//! crates for the subsystems:
+//!
+//! * [`photonics`] — silicon-photonic device models and link budgets
+//! * [`dnn`] — DNN layer graphs and the Table 2 model zoo
+//! * [`sim`] — discrete-event simulation kernel
+//! * [`noc`] — electrical mesh interposer
+//! * [`phnet`] — reconfigurable photonic interposer (ReSiPI-style)
+//! * [`hbm`] — optically-interfaced memory chiplet
+//! * [`core`] — photonic MAC units, platforms, mapper, and runner
+//!
+//! # Examples
+//!
+//! ```
+//! use lumos::prelude::*;
+//!
+//! let cfg = PlatformConfig::paper_table1();
+//! let model = zoo::lenet5();
+//! let report = Runner::new(cfg).run(&Platform::Siph2p5D, &model)?;
+//! assert!(report.total_latency.as_secs_f64() > 0.0);
+//! # Ok::<(), lumos::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lumos_core as core;
+pub use lumos_dnn as dnn;
+pub use lumos_hbm as hbm;
+pub use lumos_noc as noc;
+pub use lumos_phnet as phnet;
+pub use lumos_photonics as photonics;
+pub use lumos_sim as sim;
+
+/// The most common types for running paper experiments.
+pub mod prelude {
+    pub use lumos_core::{
+        calibration::Calibration, config::PlatformConfig, platform::Platform, runner::Runner,
+    };
+    pub use lumos_dnn::zoo;
+    pub use lumos_sim::SimTime;
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: behaviours that only emerge when the
+//! substrates compose (device models → network → platform).
+
+use lumos::phnet::{PhnetConfig, PhotonicInterposer, ReconfigPolicy};
+use lumos::prelude::*;
+use lumos::sim::SimTime;
+
+#[test]
+fn more_wavelengths_never_slower() {
+    // End-to-end monotonicity: adding wavelengths can only help latency.
+    let model = zoo::resnet50();
+    let mut last = f64::INFINITY;
+    for wavelengths in [16usize, 32, 64] {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.wavelengths = wavelengths;
+        let r = Runner::new(cfg)
+            .run(&Platform::Siph2p5D, &model)
+            .expect("feasible");
+        assert!(
+            r.latency_ms() <= last * 1.001,
+            "λ={wavelengths}: {} ms regressed over {last} ms",
+            r.latency_ms()
+        );
+        last = r.latency_ms();
+    }
+}
+
+#[test]
+fn more_gateways_never_slower() {
+    let model = zoo::vgg16();
+    let mut last = f64::INFINITY;
+    for gateways in [1usize, 2, 4] {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.gateways_per_chiplet = gateways;
+        let r = Runner::new(cfg)
+            .run(&Platform::Siph2p5D, &model)
+            .expect("feasible");
+        assert!(
+            r.latency_ms() <= last * 1.001,
+            "gw={gateways}: {} ms regressed over {last} ms",
+            r.latency_ms()
+        );
+        last = r.latency_ms();
+    }
+}
+
+#[test]
+fn policy_tradeoff_orderings() {
+    // Static-full is the latency floor and the power ceiling among the
+    // photonic policies; static-min is the opposite corner.
+    let model = zoo::resnet50();
+    let run = |policy: ReconfigPolicy| {
+        let mut cfg = PlatformConfig::paper_table1();
+        cfg.phnet.policy = policy;
+        Runner::new(cfg)
+            .run(&Platform::Siph2p5D, &model)
+            .expect("feasible")
+    };
+    let full = run(ReconfigPolicy::StaticFull);
+    let min = run(ReconfigPolicy::StaticMin);
+    let resipi = run(ReconfigPolicy::ResipiGateways);
+
+    assert!(full.total_latency <= min.total_latency);
+    assert!(full.avg_power_w() > min.avg_power_w());
+    // ReSiPI sits between the static corners on power...
+    assert!(resipi.avg_power_w() < full.avg_power_w());
+    assert!(resipi.avg_power_w() > min.avg_power_w() * 0.9);
+    // ...and close to the latency floor (within 10%).
+    assert!(resipi.latency_ms() <= full.latency_ms() * 1.10);
+}
+
+#[test]
+fn gateway_failure_degrades_gracefully() {
+    // ReSiPI routes around dead gateways: the run completes, slower.
+    let mut healthy = PhotonicInterposer::new(PhnetConfig::paper_table1()).unwrap();
+    let mut degraded = PhotonicInterposer::new(PhnetConfig::paper_table1()).unwrap();
+    degraded.fail_gateways(0, 1);
+
+    let bits = 768_000_000;
+    let h = healthy.write(SimTime::ZERO, 0, bits);
+    let d = degraded.write(SimTime::ZERO, 0, bits);
+    assert!(d.finish > h.finish, "failure must cost bandwidth");
+    // Other chiplets are unaffected.
+    let other = degraded.write(SimTime::ZERO, 1, bits);
+    assert_eq!(other.finish, h.finish);
+}
+
+#[test]
+fn infeasible_photonics_is_a_typed_error() {
+    let mut cfg = PlatformConfig::paper_table1();
+    cfg.phnet.max_laser_dbm = -30.0;
+    let err = Runner::new(cfg)
+        .run(&Platform::Siph2p5D, &zoo::lenet5())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        lumos::core::CoreError::InfeasiblePhotonics(_)
+    ));
+    assert!(err.to_string().contains("infeasible"));
+}
+
+#[test]
+fn precision_scales_traffic_and_latency() {
+    // 16-bit weights double the streamed bits; communication-bound
+    // platforms slow down accordingly.
+    let model = zoo::vgg16();
+    let mut cfg8 = PlatformConfig::paper_table1();
+    cfg8.precision = lumos::dnn::Precision::int8();
+    let mut cfg16 = PlatformConfig::paper_table1();
+    cfg16.precision = lumos::dnn::Precision::int16();
+
+    let r8 = Runner::new(cfg8).run(&Platform::Elec2p5D, &model).unwrap();
+    let r16 = Runner::new(cfg16).run(&Platform::Elec2p5D, &model).unwrap();
+    assert_eq!(r16.bits_moved, 2 * r8.bits_moved);
+    assert!(
+        r16.latency_ms() > 1.5 * r8.latency_ms(),
+        "comm-bound platform must feel the precision: {} vs {}",
+        r16.latency_ms(),
+        r8.latency_ms()
+    );
+}
+
+#[test]
+fn pam4_raises_line_rate_at_laser_cost() {
+    // Paper §II: PAM-4 doubles bits/symbol; the receiver pays ~4.8 dB of
+    // SNR margin, which the link-budget solver converts into laser power.
+    use lumos::photonics::modulator::ModulationFormat;
+    let model = zoo::vgg16();
+
+    let ook = Runner::new(PlatformConfig::paper_table1())
+        .run(&Platform::Siph2p5D, &model)
+        .unwrap();
+
+    let mut cfg = PlatformConfig::paper_table1();
+    cfg.phnet.modulation = ModulationFormat::Pam4;
+    cfg.phnet.rate_gbps = 24.0; // same 12 GBaud symbol rate, 2 bits/symbol
+    let pam4 = Runner::new(cfg)
+        .run(&Platform::Siph2p5D, &model)
+        .unwrap();
+
+    // VGG-16 on SiPh is mostly compute-bound, so total latency barely
+    // moves (and may wobble ±0.5% from epoch-threshold shifts); the
+    // physical effect is on communication time and laser energy.
+    let comm_in = |r: &lumos::core::RunReport| -> f64 {
+        r.layers.iter().map(|l| l.comm_in_s).sum()
+    };
+    assert!(
+        comm_in(&pam4) < comm_in(&ook),
+        "doubled line rate must shrink inbound streaming: {} vs {}",
+        comm_in(&pam4),
+        comm_in(&ook)
+    );
+    assert!(
+        pam4.total_latency.as_secs_f64() <= ook.total_latency.as_secs_f64() * 1.01,
+        "PAM-4 should not meaningfully slow the run"
+    );
+    assert!(
+        pam4.energy.network_j > ook.energy.network_j,
+        "PAM-4's SNR margin must show up as network energy: {} vs {}",
+        pam4.energy.network_j,
+        ook.energy.network_j
+    );
+}
+
+#[test]
+fn batch_throughput_scales_sublinearly_in_time() {
+    // Weight reuse: 8 inferences take far less than 8x one inference on
+    // the weight-bound electrical platform.
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let model = zoo::vgg16();
+    let single = runner.run(&Platform::Elec2p5D, &model).unwrap();
+    let batch = runner.run_batch(&Platform::Elec2p5D, &model, 8).unwrap();
+    let speedup = 8.0 * single.total_latency.as_secs_f64() / batch.total_latency.as_secs_f64();
+    assert!(
+        speedup > 1.3,
+        "batching should amortize weight streams, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn per_layer_reports_cover_whole_run() {
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    for p in Platform::all() {
+        let r = runner.run(&p, &zoo::densenet121()).unwrap();
+        // 120 convs + 1 fc weighted layers.
+        assert_eq!(r.layers.len(), 121, "{p}");
+        let last = r.layers.last().unwrap();
+        assert_eq!(last.finish, r.total_latency, "{p}");
+    }
+}
+
+#[test]
+fn facade_prelude_compiles_the_quickstart_path() {
+    let cfg = PlatformConfig::paper_table1();
+    let report = Runner::new(cfg)
+        .run(&Platform::Siph2p5D, &zoo::lenet5())
+        .expect("quickstart path works");
+    assert!(report.total_latency > SimTime::ZERO);
+}
