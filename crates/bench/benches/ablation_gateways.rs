@@ -38,17 +38,13 @@ fn bench(c: &mut Criterion) {
         let mut cfg = PlatformConfig::paper_table1();
         cfg.phnet.gateways_per_chiplet = gateways;
         let runner = Runner::new(cfg);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gateways),
-            &gateways,
-            |b, _| {
-                b.iter(|| {
-                    runner
-                        .run(&Platform::Siph2p5D, &lumos_dnn::zoo::vgg16())
-                        .expect("feasible")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(gateways), &gateways, |b, _| {
+            b.iter(|| {
+                runner
+                    .run(&Platform::Siph2p5D, &lumos_dnn::zoo::vgg16())
+                    .expect("feasible")
+            })
+        });
     }
     group.finish();
 }

@@ -26,9 +26,7 @@ fn sweep() {
         let models = lumos_dnn::zoo::table2_models();
         let (mut lat, mut p, mut epb) = (0.0, 0.0, 0.0);
         for model in &models {
-            let r = runner
-                .run(&Platform::Siph2p5D, model)
-                .expect("feasible");
+            let r = runner.run(&Platform::Siph2p5D, model).expect("feasible");
             lat += r.latency_ms();
             p += r.avg_power_w();
             epb += r.epb_nj();

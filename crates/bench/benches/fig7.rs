@@ -14,14 +14,14 @@ fn print_fig7() {
         "Fig. 7(b) normalized total latency",
         "Fig. 7(c) normalized energy-per-bit",
     ];
-    let metrics: [fn(&lumos_core::RunReport) -> f64; 3] = [
-        |r| r.avg_power_w(),
-        |r| r.latency_ms(),
-        |r| r.epb_nj(),
-    ];
+    let metrics: [fn(&lumos_core::RunReport) -> f64; 3] =
+        [|r| r.avg_power_w(), |r| r.latency_ms(), |r| r.epb_nj()];
     for (title, metric) in titles.iter().zip(metrics) {
         println!("\n=== {title} (mono = 1.0) ===");
-        println!("{:<14} {:>10} {:>10} {:>10}", "Model", "mono", "elec", "siph");
+        println!(
+            "{:<14} {:>10} {:>10} {:>10}",
+            "Model", "mono", "elec", "siph"
+        );
         for ((mono, elec), siph) in reports[0].iter().zip(&reports[1]).zip(&reports[2]) {
             let base = metric(mono);
             println!(
@@ -47,11 +47,9 @@ fn bench_fig7(c: &mut Criterion) {
         ("vgg16", lumos_dnn::zoo::vgg16()),
     ] {
         for platform in Platform::all() {
-            group.bench_with_input(
-                BenchmarkId::new(platform.label(), name),
-                &model,
-                |b, m| b.iter(|| runner.run(&platform, m).expect("feasible")),
-            );
+            group.bench_with_input(BenchmarkId::new(platform.label(), name), &model, |b, m| {
+                b.iter(|| runner.run(&platform, m).expect("feasible"))
+            });
         }
     }
     group.finish();

@@ -31,7 +31,15 @@ fn main() {
         println!("=== {} ===", platform_reports[0].platform.label());
         println!(
             "{:<14} {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
-            "model", "lat(ms)", "P(W)", "EPB(nJ)", "mac(mJ)", "net(mJ)", "mem(mJ)", "dig(mJ)", "comm%"
+            "model",
+            "lat(ms)",
+            "P(W)",
+            "EPB(nJ)",
+            "mac(mJ)",
+            "net(mJ)",
+            "mem(mJ)",
+            "dig(mJ)",
+            "comm%"
         );
         for r in platform_reports {
             println!(

@@ -17,17 +17,29 @@ fn main() {
     let (reports, _) = run_full_evaluation(&cfg);
     let [mono, elec, siph] = [&reports[0], &reports[1], &reports[2]];
 
-    print_series("Fig. 7(a): normalized power consumption", mono, elec, siph, |r| {
-        r.avg_power_w()
-    });
+    print_series(
+        "Fig. 7(a): normalized power consumption",
+        mono,
+        elec,
+        siph,
+        |r| r.avg_power_w(),
+    );
     println!();
-    print_series("Fig. 7(b): normalized total latency", mono, elec, siph, |r| {
-        r.latency_ms()
-    });
+    print_series(
+        "Fig. 7(b): normalized total latency",
+        mono,
+        elec,
+        siph,
+        |r| r.latency_ms(),
+    );
     println!();
-    print_series("Fig. 7(c): normalized energy-per-bit", mono, elec, siph, |r| {
-        r.epb_nj()
-    });
+    print_series(
+        "Fig. 7(c): normalized energy-per-bit",
+        mono,
+        elec,
+        siph,
+        |r| r.epb_nj(),
+    );
 }
 
 fn print_series(

@@ -47,7 +47,10 @@ fn table1(cfg: &PlatformConfig) {
     println!("{:<48} 128 bits", "Electrical network-on-chip link width");
     println!("{:<48} 2 GHz", "Electrical network-on-chip frequency");
     println!("{:<48} {}", "Number of wavelengths", cfg.phnet.wavelengths);
-    println!("{:<48} {}", "Number of memory-chiplets", cfg.memory_chiplets);
+    println!(
+        "{:<48} {}",
+        "Number of memory-chiplets", cfg.memory_chiplets
+    );
     println!(
         "{:<48} {}",
         "Number of compute-chiplets",
@@ -62,8 +65,14 @@ fn table1(cfg: &PlatformConfig) {
         let c = cfg.class(class);
         println!("{label}:");
         println!("{:<48} {}", "  Number of chiplets", c.chiplets);
-        println!("{:<48} {}", "  Number of MACs per chiplet", c.macs_per_chiplet);
-        println!("{:<48} {}", "  Number of MACs per gateway", c.macs_per_gateway);
+        println!(
+            "{:<48} {}",
+            "  Number of MACs per chiplet", c.macs_per_chiplet
+        );
+        println!(
+            "{:<48} {}",
+            "  Number of MACs per gateway", c.macs_per_gateway
+        );
     }
 }
 

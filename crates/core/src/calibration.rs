@@ -110,8 +110,14 @@ impl Calibration {
             "mono scale must be in (0,1]"
         );
         assert!(self.elec_packet_bits > 0, "packet size must be positive");
-        assert!(self.mono_mem_gbps > 0.0, "mono memory bandwidth must be positive");
-        assert!(self.mono_static_w >= 0.0, "mono static power must be non-negative");
+        assert!(
+            self.mono_mem_gbps > 0.0,
+            "mono memory bandwidth must be positive"
+        );
+        assert!(
+            self.mono_static_w >= 0.0,
+            "mono static power must be non-negative"
+        );
         assert!(
             self.comm_overlap_margin > 0.0 && self.comm_overlap_margin <= 1.0,
             "overlap margin must be in (0,1]"

@@ -118,9 +118,8 @@ impl RunReport {
     /// Renders the per-layer trace as CSV (header + one row per layer),
     /// for offline plotting of Fig. 7-style breakdowns.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "layer,class,start_us,finish_us,compute_us,comm_in_us,comm_out_us,bits\n",
-        );
+        let mut out =
+            String::from("layer,class,start_us,finish_us,compute_us,comm_in_us,comm_out_us,bits\n");
         for l in &self.layers {
             out.push_str(&format!(
                 "{},{:?},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",

@@ -301,8 +301,7 @@ impl Runner {
                 )
             }
             Backend::Elec { net, hbm, .. } => (
-                net.total_energy_j()
-                    + (net.static_power_w() + calib.elec_phy_static_w) * total_s,
+                net.total_energy_j() + (net.static_power_w() + calib.elec_phy_static_w) * total_s,
                 hbm.total_energy_j() + hbm.static_power_w() * total_s,
             ),
             Backend::Mono { bus, hbm } => {
@@ -352,17 +351,16 @@ impl Runner {
         batch: u32,
     ) -> Result<RunReport, CoreError> {
         assert!(batch > 0, "batch must be at least 1");
-        let workloads: Vec<lumos_dnn::LayerWorkload> =
-            extract_workloads(model, self.cfg.precision)
-                .into_iter()
-                .map(|mut w| {
-                    w.dot_products *= batch as u64;
-                    w.macs *= batch as u64;
-                    w.input_bits *= batch as u64;
-                    w.output_bits *= batch as u64;
-                    w
-                })
-                .collect();
+        let workloads: Vec<lumos_dnn::LayerWorkload> = extract_workloads(model, self.cfg.precision)
+            .into_iter()
+            .map(|mut w| {
+                w.dot_products *= batch as u64;
+                w.macs *= batch as u64;
+                w.input_bits *= batch as u64;
+                w.output_bits *= batch as u64;
+                w
+            })
+            .collect();
         let name = format!("{} (batch {batch})", model.name());
         self.run_workloads(platform, &name, &workloads)
     }
@@ -482,7 +480,11 @@ mod tests {
         let report = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
         let mut last = SimTime::ZERO;
         for l in &report.layers {
-            assert!(l.start >= last, "layer {} starts before predecessor", l.name);
+            assert!(
+                l.start >= last,
+                "layer {} starts before predecessor",
+                l.name
+            );
             assert!(l.finish >= l.start);
             last = l.finish;
         }
@@ -532,7 +534,9 @@ mod tests {
     fn batch_one_equals_single_run() {
         let r = runner();
         let single = r.run(&Platform::Monolithic, &zoo::lenet5()).unwrap();
-        let batch1 = r.run_batch(&Platform::Monolithic, &zoo::lenet5(), 1).unwrap();
+        let batch1 = r
+            .run_batch(&Platform::Monolithic, &zoo::lenet5(), 1)
+            .unwrap();
         assert_eq!(single.total_latency, batch1.total_latency);
         assert_eq!(single.bits_moved, batch1.bits_moved);
     }

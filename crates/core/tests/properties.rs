@@ -7,12 +7,16 @@ use proptest::prelude::*;
 
 /// Strategy: a random small sequential CNN that always shape-checks.
 fn random_cnn() -> impl Strategy<Value = Model> {
-    let conv = (1u32..=3, prop::sample::select(vec![1u32, 3, 5, 7]), 4u32..32);
+    let conv = (
+        1u32..=3,
+        prop::sample::select(vec![1u32, 3, 5, 7]),
+        4u32..32,
+    );
     (
-        8u32..=32,           // input H=W
-        2u32..=8,            // input channels
+        8u32..=32, // input H=W
+        2u32..=8,  // input channels
         proptest::collection::vec(conv, 1..5),
-        4u32..64,            // classifier width
+        4u32..64, // classifier width
     )
         .prop_map(|(hw, c, convs, classes)| {
             let mut m = Model::new("random_cnn", TensorShape::chw(c, hw, hw));
@@ -23,8 +27,11 @@ fn random_cnn() -> impl Strategy<Value = Model> {
                     .map(|t| m.output_shape_of(t))
                     .unwrap_or(m.input_shape());
                 let stride = if cur.h / stride >= 4 { stride } else { 1 };
-                m.push(&format!("conv{i}"), Layer::conv(out_c, k, stride, Padding::Same))
-                    .expect("same-padded conv always fits");
+                m.push(
+                    &format!("conv{i}"),
+                    Layer::conv(out_c, k, stride, Padding::Same),
+                )
+                .expect("same-padded conv always fits");
             }
             m.push("gap", Layer::GlobalAvgPool).expect("valid");
             m.push("fc", Layer::dense(classes)).expect("valid");

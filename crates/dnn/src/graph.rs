@@ -63,7 +63,9 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::UnknownInput { node } => write!(f, "node '{node}' references unknown input"),
+            ModelError::UnknownInput { node } => {
+                write!(f, "node '{node}' references unknown input")
+            }
             ModelError::AddShapeMismatch { node } => {
                 write!(f, "add node '{node}' has mismatched input shapes")
             }
@@ -187,8 +189,10 @@ impl Model {
                     got: inputs.len(),
                 });
             }
-            let shapes: Vec<TensorShape> =
-                inputs.iter().map(|&i| self.nodes[i.0].output_shape).collect();
+            let shapes: Vec<TensorShape> = inputs
+                .iter()
+                .map(|&i| self.nodes[i.0].output_shape)
+                .collect();
             match layer {
                 Layer::Add => {
                     if shapes.windows(2).any(|w| w[0] != w[1]) {
@@ -307,8 +311,15 @@ mod tests {
     fn sequential_push_chains_shapes() {
         let mut m = base();
         m.push("c1", Layer::conv(4, 3, 1, Padding::Same)).unwrap();
-        m.push("p", Layer::MaxPool { size: 2, stride: 2, padding: Padding::Valid })
-            .unwrap();
+        m.push(
+            "p",
+            Layer::MaxPool {
+                size: 2,
+                stride: 2,
+                padding: Padding::Valid,
+            },
+        )
+        .unwrap();
         m.push("f", Layer::Flatten).unwrap();
         let id = m.push("d", Layer::dense(10)).unwrap();
         assert_eq!(m.output_shape_of(id), TensorShape::vector(10));
@@ -318,7 +329,9 @@ mod tests {
     #[test]
     fn residual_add_checks_shapes() {
         let mut m = base();
-        let a = m.push("c1", Layer::conv_nb(8, 3, 1, Padding::Same)).unwrap();
+        let a = m
+            .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
+            .unwrap();
         let b = m
             .add_node("c2", Layer::conv_nb(8, 3, 1, Padding::Same), vec![a])
             .unwrap();
@@ -329,7 +342,9 @@ mod tests {
     #[test]
     fn add_shape_mismatch_rejected() {
         let mut m = base();
-        let a = m.push("c1", Layer::conv_nb(8, 3, 1, Padding::Same)).unwrap();
+        let a = m
+            .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
+            .unwrap();
         let b = m
             .add_node("c2", Layer::conv_nb(4, 3, 1, Padding::Same), vec![a])
             .unwrap();
@@ -340,7 +355,9 @@ mod tests {
     #[test]
     fn concat_sums_channels() {
         let mut m = base();
-        let a = m.push("c1", Layer::conv_nb(8, 3, 1, Padding::Same)).unwrap();
+        let a = m
+            .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
+            .unwrap();
         let b = m
             .add_node("c2", Layer::conv_nb(4, 3, 1, Padding::Same), vec![a])
             .unwrap();
@@ -351,7 +368,9 @@ mod tests {
     #[test]
     fn merge_needs_two_inputs() {
         let mut m = base();
-        let a = m.push("c1", Layer::conv_nb(8, 3, 1, Padding::Same)).unwrap();
+        let a = m
+            .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
+            .unwrap();
         let err = m.add_node("add", Layer::Add, vec![a]).unwrap_err();
         assert!(matches!(err, ModelError::BadFanIn { got: 1, .. }));
     }
@@ -371,7 +390,8 @@ mod tests {
         let mut m = base();
         m.push("c1", Layer::conv(4, 3, 1, Padding::Same)).unwrap();
         m.push("bn", Layer::BatchNorm).unwrap();
-        m.push("dw", Layer::depthwise_nb(3, 1, Padding::Same)).unwrap();
+        m.push("dw", Layer::depthwise_nb(3, 1, Padding::Same))
+            .unwrap();
         m.push("f", Layer::Flatten).unwrap();
         m.push("d", Layer::dense(10)).unwrap();
         assert_eq!(m.conv_layer_count(), 2);

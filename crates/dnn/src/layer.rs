@@ -234,11 +234,7 @@ impl Layer {
                 let (g, out_c) = resolve_groups(groups, input.c, out_channels);
                 let oh = conv_out(input.h, kernel, stride, padding) as u64;
                 let ow = conv_out(input.w, kernel, stride, padding) as u64;
-                oh * ow
-                    * out_c as u64
-                    * kernel as u64
-                    * kernel as u64
-                    * (input.c as u64 / g as u64)
+                oh * ow * out_c as u64 * kernel as u64 * kernel as u64 * (input.c as u64 / g as u64)
             }
             Layer::Dense { units, .. } => input.c as u64 * units as u64,
             _ => 0,
@@ -330,7 +326,10 @@ mod tests {
 
     #[test]
     fn batchnorm_params() {
-        assert_eq!(Layer::BatchNorm.param_count(TensorShape::chw(64, 1, 1)), 256);
+        assert_eq!(
+            Layer::BatchNorm.param_count(TensorShape::chw(64, 1, 1)),
+            256
+        );
     }
 
     #[test]

@@ -29,14 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod graph;
-pub mod quantization;
 pub mod layer;
+pub mod quantization;
 pub mod shape;
 pub mod workload;
 pub mod zoo;
 
 pub use graph::{Model, ModelError, Node, NodeId};
 pub use layer::{Activation, Layer};
-pub use shape::{conv_out, Padding, TensorShape};
 pub use quantization::{extract_quantized_workloads, QuantPolicy, QuantizationScheme};
+pub use shape::{conv_out, Padding, TensorShape};
 pub use workload::{extract_workloads, totals, KernelClass, LayerWorkload, Precision};

@@ -95,8 +95,7 @@ impl QuantizationScheme {
                         } else {
                             0.0
                         };
-                        let bits =
-                            max_bits as f64 - f * (max_bits - min_bits) as f64;
+                        let bits = max_bits as f64 - f * (max_bits - min_bits) as f64;
                         bits.round() as u32
                     })
                     .collect()

@@ -24,11 +24,15 @@ pub fn densenet121() -> Model {
     let ok = "densenet121 graph is well-formed";
 
     // Stem.
-    m.push("zero_padding2d", Layer::ZeroPad { amount: 3 }).expect(ok);
-    m.push("conv1/conv", Layer::conv_nb(64, 7, 2, Padding::Valid)).expect(ok);
+    m.push("zero_padding2d", Layer::ZeroPad { amount: 3 })
+        .expect(ok);
+    m.push("conv1/conv", Layer::conv_nb(64, 7, 2, Padding::Valid))
+        .expect(ok);
     m.push("conv1/bn", Layer::BatchNorm).expect(ok);
-    m.push("conv1/relu", Layer::Activation(Activation::Relu)).expect(ok);
-    m.push("zero_padding2d_1", Layer::ZeroPad { amount: 1 }).expect(ok);
+    m.push("conv1/relu", Layer::Activation(Activation::Relu))
+        .expect(ok);
+    m.push("zero_padding2d_1", Layer::ZeroPad { amount: 1 })
+        .expect(ok);
     m.push(
         "pool1",
         Layer::MaxPool {
@@ -48,10 +52,12 @@ pub fn densenet121() -> Model {
     }
 
     m.push("bn", Layer::BatchNorm).expect(ok);
-    m.push("relu", Layer::Activation(Activation::Relu)).expect(ok);
+    m.push("relu", Layer::Activation(Activation::Relu))
+        .expect(ok);
     m.push("avg_pool", Layer::GlobalAvgPool).expect(ok);
     m.push("predictions", Layer::dense(1000)).expect(ok);
-    m.push("softmax", Layer::Activation(Activation::Softmax)).expect(ok);
+    m.push("softmax", Layer::Activation(Activation::Softmax))
+        .expect(ok);
     m
 }
 
@@ -63,7 +69,9 @@ fn dense_block(m: &mut Model, name: &str, layers: usize) {
         let input: NodeId = m.tail().expect("dense block needs a predecessor");
         let b = format!("{name}_block{}", li + 1);
 
-        let x = m.add_node(&format!("{b}_0_bn"), Layer::BatchNorm, vec![input]).expect(ok);
+        let x = m
+            .add_node(&format!("{b}_0_bn"), Layer::BatchNorm, vec![input])
+            .expect(ok);
         let x = m
             .add_node(
                 &format!("{b}_0_relu"),
@@ -78,7 +86,9 @@ fn dense_block(m: &mut Model, name: &str, layers: usize) {
                 vec![x],
             )
             .expect(ok);
-        let x = m.add_node(&format!("{b}_1_bn"), Layer::BatchNorm, vec![x]).expect(ok);
+        let x = m
+            .add_node(&format!("{b}_1_bn"), Layer::BatchNorm, vec![x])
+            .expect(ok);
         let x = m
             .add_node(
                 &format!("{b}_1_relu"),
@@ -103,7 +113,9 @@ fn transition(m: &mut Model, name: &str) {
     let ok = "densenet121 graph is well-formed";
     let input = m.tail().expect("transition needs a predecessor");
     let channels = m.output_shape_of(input).c;
-    let x = m.add_node(&format!("{name}_bn"), Layer::BatchNorm, vec![input]).expect(ok);
+    let x = m
+        .add_node(&format!("{name}_bn"), Layer::BatchNorm, vec![input])
+        .expect(ok);
     let x = m
         .add_node(
             &format!("{name}_relu"),
@@ -163,8 +175,14 @@ mod tests {
         assert_eq!(shape_of("conv4_block24_concat").c, 1024);
         assert_eq!(shape_of("conv5_block16_concat").c, 1024);
         // Spatial pyramid.
-        assert_eq!(shape_of("conv2_block6_concat"), TensorShape::chw(256, 56, 56));
-        assert_eq!(shape_of("conv5_block16_concat"), TensorShape::chw(1024, 7, 7));
+        assert_eq!(
+            shape_of("conv2_block6_concat"),
+            TensorShape::chw(256, 56, 56)
+        );
+        assert_eq!(
+            shape_of("conv5_block16_concat"),
+            TensorShape::chw(1024, 7, 7)
+        );
     }
 
     #[test]

@@ -20,9 +20,11 @@ pub fn mobilenet_v2() -> Model {
     let mut m = Model::new("mobilenet_v2", TensorShape::chw(3, 224, 224));
     let ok = "mobilenet_v2 graph is well-formed";
 
-    m.push("Conv1", Layer::conv_nb(32, 3, 2, Padding::Same)).expect(ok);
+    m.push("Conv1", Layer::conv_nb(32, 3, 2, Padding::Same))
+        .expect(ok);
     m.push("bn_Conv1", Layer::BatchNorm).expect(ok);
-    m.push("Conv1_relu", Layer::Activation(Activation::Relu6)).expect(ok);
+    m.push("Conv1_relu", Layer::Activation(Activation::Relu6))
+        .expect(ok);
 
     // (expansion t, output channels c, repeats n, first stride s)
     let config: &[(u32, u32, usize, u32)] = &[
@@ -44,12 +46,16 @@ pub fn mobilenet_v2() -> Model {
         }
     }
 
-    m.push("Conv_1", Layer::conv_nb(1280, 1, 1, Padding::Valid)).expect(ok);
+    m.push("Conv_1", Layer::conv_nb(1280, 1, 1, Padding::Valid))
+        .expect(ok);
     m.push("Conv_1_bn", Layer::BatchNorm).expect(ok);
-    m.push("out_relu", Layer::Activation(Activation::Relu6)).expect(ok);
-    m.push("global_average_pooling2d", Layer::GlobalAvgPool).expect(ok);
+    m.push("out_relu", Layer::Activation(Activation::Relu6))
+        .expect(ok);
+    m.push("global_average_pooling2d", Layer::GlobalAvgPool)
+        .expect(ok);
     m.push("predictions", Layer::dense(1000)).expect(ok);
-    m.push("softmax", Layer::Activation(Activation::Softmax)).expect(ok);
+    m.push("softmax", Layer::Activation(Activation::Softmax))
+        .expect(ok);
     m
 }
 

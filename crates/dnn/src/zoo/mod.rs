@@ -32,13 +32,7 @@ use crate::graph::Model;
 
 /// All five Table 2 models, in the paper's row order.
 pub fn table2_models() -> Vec<Model> {
-    vec![
-        lenet5(),
-        resnet50(),
-        densenet121(),
-        vgg16(),
-        mobilenet_v2(),
-    ]
+    vec![lenet5(), resnet50(), densenet121(), vgg16(), mobilenet_v2()]
 }
 
 #[cfg(test)]

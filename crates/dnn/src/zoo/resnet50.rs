@@ -23,9 +23,11 @@ pub fn resnet50() -> Model {
 
     // Stem.
     m.push("conv1_pad", Layer::ZeroPad { amount: 3 }).expect(ok);
-    m.push("conv1", Layer::conv(64, 7, 2, Padding::Valid)).expect(ok);
+    m.push("conv1", Layer::conv(64, 7, 2, Padding::Valid))
+        .expect(ok);
     m.push("conv1_bn", Layer::BatchNorm).expect(ok);
-    m.push("conv1_relu", Layer::Activation(Activation::Relu)).expect(ok);
+    m.push("conv1_relu", Layer::Activation(Activation::Relu))
+        .expect(ok);
     m.push("pool1_pad", Layer::ZeroPad { amount: 1 }).expect(ok);
     m.push(
         "pool1",
@@ -43,13 +45,20 @@ pub fn resnet50() -> Model {
         for bi in 0..blocks {
             let stride = if bi == 0 { first_stride } else { 1 };
             let project = bi == 0;
-            bottleneck(&mut m, &format!("conv{}_{}", si + 2, bi + 1), width, stride, project);
+            bottleneck(
+                &mut m,
+                &format!("conv{}_{}", si + 2, bi + 1),
+                width,
+                stride,
+                project,
+            );
         }
     }
 
     m.push("avg_pool", Layer::GlobalAvgPool).expect(ok);
     m.push("predictions", Layer::dense(1000)).expect(ok);
-    m.push("softmax", Layer::Activation(Activation::Softmax)).expect(ok);
+    m.push("softmax", Layer::Activation(Activation::Softmax))
+        .expect(ok);
     m
 }
 
@@ -67,7 +76,9 @@ fn bottleneck(m: &mut Model, name: &str, width: u32, stride: u32, project: bool)
             vec![input],
         )
         .expect(ok);
-    let c1 = m.add_node(&format!("{name}_1_bn"), Layer::BatchNorm, vec![c1]).expect(ok);
+    let c1 = m
+        .add_node(&format!("{name}_1_bn"), Layer::BatchNorm, vec![c1])
+        .expect(ok);
     let c1 = m
         .add_node(
             &format!("{name}_1_relu"),
@@ -83,7 +94,9 @@ fn bottleneck(m: &mut Model, name: &str, width: u32, stride: u32, project: bool)
             vec![c1],
         )
         .expect(ok);
-    let c2 = m.add_node(&format!("{name}_2_bn"), Layer::BatchNorm, vec![c2]).expect(ok);
+    let c2 = m
+        .add_node(&format!("{name}_2_bn"), Layer::BatchNorm, vec![c2])
+        .expect(ok);
     let c2 = m
         .add_node(
             &format!("{name}_2_relu"),
@@ -99,7 +112,9 @@ fn bottleneck(m: &mut Model, name: &str, width: u32, stride: u32, project: bool)
             vec![c2],
         )
         .expect(ok);
-    let c3 = m.add_node(&format!("{name}_3_bn"), Layer::BatchNorm, vec![c3]).expect(ok);
+    let c3 = m
+        .add_node(&format!("{name}_3_bn"), Layer::BatchNorm, vec![c3])
+        .expect(ok);
 
     let shortcut = if project {
         let p = m
@@ -109,7 +124,8 @@ fn bottleneck(m: &mut Model, name: &str, width: u32, stride: u32, project: bool)
                 vec![input],
             )
             .expect(ok);
-        m.add_node(&format!("{name}_0_bn"), Layer::BatchNorm, vec![p]).expect(ok)
+        m.add_node(&format!("{name}_0_bn"), Layer::BatchNorm, vec![p])
+            .expect(ok)
     } else {
         input
     };

@@ -25,11 +25,8 @@ pub fn vgg16() -> Model {
             let name = format!("block{}_conv{}", bi + 1, ci + 1);
             m.push(&name, Layer::conv(channels, 3, 1, Padding::Same))
                 .expect("vgg16 graph is well-formed");
-            m.push(
-                &format!("{name}_relu"),
-                Layer::Activation(Activation::Relu),
-            )
-            .expect("vgg16 graph is well-formed");
+            m.push(&format!("{name}_relu"), Layer::Activation(Activation::Relu))
+                .expect("vgg16 graph is well-formed");
         }
         m.push(
             &format!("block{}_pool", bi + 1),
@@ -49,7 +46,8 @@ pub fn vgg16() -> Model {
     m.push("fc2", Layer::dense(4096)).expect("well-formed");
     m.push("fc2_relu", Layer::Activation(Activation::Relu))
         .expect("well-formed");
-    m.push("predictions", Layer::dense(1000)).expect("well-formed");
+    m.push("predictions", Layer::dense(1000))
+        .expect("well-formed");
     m.push("softmax", Layer::Activation(Activation::Softmax))
         .expect("well-formed");
     m

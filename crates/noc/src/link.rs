@@ -112,9 +112,7 @@ impl RouterModel {
 
     /// Head latency through one router.
     pub fn hop_latency(&self) -> SimTime {
-        SimTime::from_ps(
-            (self.pipeline_stages as f64 * 1e3 / self.frequency_ghz).round() as u64,
-        )
+        SimTime::from_ps((self.pipeline_stages as f64 * 1e3 / self.frequency_ghz).round() as u64)
     }
 
     /// Energy to switch `bits` through one router, joules.

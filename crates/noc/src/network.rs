@@ -120,8 +120,8 @@ impl MeshNetwork {
             start.get_or_insert(grant.start);
             head = grant.start + per_hop;
             tail_finish = grant.finish + per_hop;
-            self.energy_j += self.link_model.energy_joules(bits)
-                + self.router_model.energy_joules(bits);
+            self.energy_j +=
+                self.link_model.energy_joules(bits) + self.router_model.energy_joules(bits);
         }
         self.bits_moved += bits;
         let result = MeshTransfer {
@@ -175,10 +175,8 @@ impl MeshNetwork {
         let path = xy_route(&self.mesh, src, dst);
         let hops = path.len() as u64;
         let per_hop = self.router_model.hop_latency() + self.link_model.packet_hop_latency();
-        let packet_ser = lumos_sim::time::serialization_time(
-            packet_bits,
-            self.link_model.bandwidth_gbps(),
-        );
+        let packet_ser =
+            lumos_sim::time::serialization_time(packet_bits, self.link_model.bandwidth_gbps());
         let packets = bits.div_ceil(packet_bits);
         // Each packet: serialize once + traverse every hop out AND back
         // (request/response round trip); the next packet waits for the
@@ -200,8 +198,8 @@ impl MeshNetwork {
             let grant = server.serve(at, equiv_bits);
             start.get_or_insert(grant.start);
             finish = finish.max(grant.finish);
-            self.energy_j += self.link_model.energy_joules(bits)
-                + self.router_model.energy_joules(bits);
+            self.energy_j +=
+                self.link_model.energy_joules(bits) + self.router_model.energy_joules(bits);
         }
         self.bits_moved += bits;
         let result = MeshTransfer {
@@ -218,13 +216,7 @@ impl MeshNetwork {
     /// unicast — a passive electrical interposer has no cheap multicast,
     /// which is precisely the disadvantage the paper's SWMR photonic
     /// protocol avoids. Returns the worst finish time.
-    pub fn broadcast(
-        &mut self,
-        at: SimTime,
-        src: Coord,
-        dsts: &[Coord],
-        bits: u64,
-    ) -> SimTime {
+    pub fn broadcast(&mut self, at: SimTime, src: Coord, dsts: &[Coord], bits: u64) -> SimTime {
         let mut worst = at;
         for &d in dsts {
             let t = self.transfer(at, src, d, bits);
@@ -312,7 +304,12 @@ mod tests {
     #[test]
     fn local_transfer_is_free() {
         let mut n = net();
-        let t = n.transfer(SimTime::from_ns(5), Coord::new(1, 1), Coord::new(1, 1), 1_000);
+        let t = n.transfer(
+            SimTime::from_ns(5),
+            Coord::new(1, 1),
+            Coord::new(1, 1),
+            1_000,
+        );
         assert_eq!(t.finish, SimTime::from_ns(5));
         assert_eq!(n.total_energy_j(), 0.0);
     }
@@ -366,7 +363,10 @@ mod tests {
                 .transfer(SimTime::ZERO, Coord::new(0, 1), centre, bits)
                 .finish
         };
-        assert!(worst >= single * 2, "no hotspot effect: {worst} vs {single}");
+        assert!(
+            worst >= single * 2,
+            "no hotspot effect: {worst} vs {single}"
+        );
     }
 
     #[test]

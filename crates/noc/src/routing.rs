@@ -35,7 +35,10 @@ pub fn xy_route(mesh: &Mesh, src: Coord, dst: Coord) -> Vec<DirectedLink> {
         } else {
             Coord::new(cur.x - 1, cur.y)
         };
-        path.push(DirectedLink { from: cur, to: next });
+        path.push(DirectedLink {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     while cur.y != dst.y {
@@ -44,7 +47,10 @@ pub fn xy_route(mesh: &Mesh, src: Coord, dst: Coord) -> Vec<DirectedLink> {
         } else {
             Coord::new(cur.x, cur.y - 1)
         };
-        path.push(DirectedLink { from: cur, to: next });
+        path.push(DirectedLink {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     path

@@ -111,9 +111,15 @@ impl PhnetConfig {
     /// Panics on a configuration no hardware could implement (zero
     /// counts, non-positive rates).
     pub fn validate(&self) {
-        assert!(self.compute_chiplets > 0, "need at least one compute chiplet");
+        assert!(
+            self.compute_chiplets > 0,
+            "need at least one compute chiplet"
+        );
         assert!(self.gateways_per_chiplet > 0, "need at least one gateway");
-        assert!(self.memory_tx_gateways > 0, "need at least one memory gateway");
+        assert!(
+            self.memory_tx_gateways > 0,
+            "need at least one memory gateway"
+        );
         assert!(self.wavelengths > 0, "need at least one wavelength");
         assert!(
             self.rate_gbps > 0.0 && self.rate_gbps.is_finite(),

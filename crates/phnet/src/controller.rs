@@ -141,7 +141,11 @@ impl EpochController {
     /// # Panics
     ///
     /// Panics if `demand_bps.len()` differs from the chiplet count.
-    pub fn plan_epoch(&mut self, demand_bps: &[f64], gateway_gbps: f64) -> (ActiveSet, ReconfigCost) {
+    pub fn plan_epoch(
+        &mut self,
+        demand_bps: &[f64],
+        gateway_gbps: f64,
+    ) -> (ActiveSet, ReconfigCost) {
         assert_eq!(
             demand_bps.len(),
             self.chiplets,
@@ -167,8 +171,8 @@ impl EpochController {
                     })
                     .collect();
                 let total_demand: f64 = demand_bps.iter().sum();
-                let mem = ((total_demand / per_gateway).ceil() as usize)
-                    .clamp(1, self.memory_gateways);
+                let mem =
+                    ((total_demand / per_gateway).ceil() as usize).clamp(1, self.memory_gateways);
                 ActiveSet {
                     gateways_per_chiplet: gws,
                     memory_gateways: mem,
@@ -215,7 +219,9 @@ impl EpochController {
         {
             toggles += new.abs_diff(*old);
         }
-        toggles += target.memory_gateways.abs_diff(self.current.memory_gateways);
+        toggles += target
+            .memory_gateways
+            .abs_diff(self.current.memory_gateways);
         // Wavelength-only changes (PROWAVES) need no PCM writes: the
         // laser bank gates channels electronically.
         let cost = if toggles > 0 {

@@ -61,10 +61,7 @@ impl InterposerLayout {
             )
             .stage("modulator row", Decibels::new(1.0))
             .stage("broadcast bus", wg.path_loss(bus_mm, bends, crossings))
-            .stage(
-                "upstream reader banks",
-                bank_through * upstream_banks,
-            )
+            .stage("upstream reader banks", bank_through * upstream_banks)
             .stage(
                 "broadcast split",
                 SplitterTree::new(n.max(1)).per_output_loss(),

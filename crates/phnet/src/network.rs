@@ -10,8 +10,8 @@
 //! * **SWSR writes** — each compute writer gateway owns a dedicated
 //!   waveguide into a memory filter row.
 
-use lumos_photonics::link::{solve_link, LinkDesign, LinkError};
 use lumos_photonics::laser::{Laser, LaserPlacement};
+use lumos_photonics::link::{solve_link, LinkDesign, LinkError};
 use lumos_photonics::modulator::Modulator;
 use lumos_photonics::photodetector::Photodetector;
 use lumos_photonics::wdm::ChannelPlan;
@@ -209,8 +209,7 @@ impl PhotonicInterposer {
         let active_rings = active_cgw * rings_per_gateway + mem_rings;
         let tuning = active_rings * self.cfg.ring_lock_mw * 1e-3;
 
-        let digital =
-            (active_cgw + set.memory_gateways as f64) * self.cfg.gateway_static_mw * 1e-3;
+        let digital = (active_cgw + set.memory_gateways as f64) * self.cfg.gateway_static_mw * 1e-3;
         laser + tuning + digital
     }
 
@@ -376,7 +375,10 @@ mod tests {
         let bits = 768_000_000; // 1 ms at one 768 Gb/s lane
         let b = n.read_broadcast(SimTime::ZERO, bits);
         let serial = b.finish.saturating_sub(b.start).as_ms_f64();
-        assert!((serial - 1.0).abs() < 0.01, "broadcast serialized {serial} ms");
+        assert!(
+            (serial - 1.0).abs() < 0.01,
+            "broadcast serialized {serial} ms"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn filter_bank_crosstalk(plan: &ChannelPlan, q_factor: u32) -> CrosstalkRepo
             leaked += ring.drop_transmission(plan.wavelength(i));
         }
     }
-    let ratio = if signal > 0.0 { leaked / signal } else { f64::INFINITY };
+    let ratio = if signal > 0.0 {
+        leaked / signal
+    } else {
+        f64::INFINITY
+    };
     CrosstalkReport {
         victim,
         crosstalk_ratio: ratio,

@@ -60,8 +60,8 @@ pub mod modulator;
 pub mod mrr;
 pub mod mzi;
 pub mod pcmc;
-pub mod thermal;
 pub mod photodetector;
+pub mod thermal;
 pub mod units;
 pub mod waveguide;
 pub mod wdm;
@@ -79,7 +79,9 @@ pub mod prelude {
     pub use crate::mzi::Mzi;
     pub use crate::pcmc::{equal_split_taps, PcmCoupler, PcmState};
     pub use crate::photodetector::Photodetector;
-    pub use crate::thermal::{mean_lock_power_mw, solve_bank_tuning, ThermalCrosstalk, VariationModel};
+    pub use crate::thermal::{
+        mean_lock_power_mw, solve_bank_tuning, ThermalCrosstalk, VariationModel,
+    };
     pub use crate::units::{Decibels, EnergyPerBit, OpticalPower, Wavelength};
     pub use crate::waveguide::Waveguide;
     pub use crate::wdm::ChannelPlan;

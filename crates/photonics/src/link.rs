@@ -142,7 +142,11 @@ impl LinkBudget {
             out.push_str(&format!("  {:<28} {}\n", s.name, s.loss));
         }
         out.push_str(&format!("  {:<28} {}\n", "margin", self.margin));
-        out.push_str(&format!("  {:<28} {}\n", "TOTAL", self.total_loss() + self.margin));
+        out.push_str(&format!(
+            "  {:<28} {}\n",
+            "TOTAL",
+            self.total_loss() + self.margin
+        ));
         out
     }
 }
@@ -348,7 +352,9 @@ mod tests {
         )
         .unwrap();
         assert!(hi.required_at_laser.as_dbm() > lo.required_at_laser.as_dbm());
-        assert!((hi.required_at_laser.as_dbm() - lo.required_at_laser.as_dbm() - 10.0).abs() < 1e-9);
+        assert!(
+            (hi.required_at_laser.as_dbm() - lo.required_at_laser.as_dbm() - 10.0).abs() < 1e-9
+        );
         assert!(hi.laser_electrical_w > lo.laser_electrical_w);
     }
 

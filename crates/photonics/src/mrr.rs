@@ -305,7 +305,11 @@ mod tests {
         let large = Microring::new(Wavelength::from_nm(1550.0), 8000, 10.0);
         assert!(small.fsr_nm() > large.fsr_nm());
         // 5 µm, n_g = 4.2: FSR = 1550² / (4.2 · 2π·5000) ≈ 18.2 nm
-        assert!((small.fsr_nm() - 18.2).abs() < 0.5, "got {}", small.fsr_nm());
+        assert!(
+            (small.fsr_nm() - 18.2).abs() < 0.5,
+            "got {}",
+            small.fsr_nm()
+        );
     }
 
     #[test]

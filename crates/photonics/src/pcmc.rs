@@ -133,7 +133,9 @@ impl PcmCoupler {
     /// exactly 0 when crystalline, and strictly monotone in between.
     pub fn cross_fraction(&self) -> f64 {
         let x = self.state.crystallinity();
-        let alpha = (self.coupling_len_amorphous_um / self.coupling_len_crystalline_um).ln().max(0.2);
+        let alpha = (self.coupling_len_amorphous_um / self.coupling_len_crystalline_um)
+            .ln()
+            .max(0.2);
         let coupled = (std::f64::consts::FRAC_PI_2 * (1.0 - x).powf(alpha))
             .sin()
             .powi(2);

@@ -84,10 +84,7 @@ impl Photodetector {
     where
         I: IntoIterator<Item = OpticalPower>,
     {
-        channels
-            .into_iter()
-            .map(|p| self.photocurrent_ma(p))
-            .sum()
+        channels.into_iter().map(|p| self.photocurrent_ma(p)).sum()
     }
 }
 

@@ -305,7 +305,11 @@ mod tests {
         let errors = vec![0.0, 0.25];
         let sol = solve_bank_tuning(&errors, &no_xt, &circuit);
         // Ring 0 must shift by 0.25 (bias), ring 1 by 0: 0.25/0.25 nm/mW = 1 mW.
-        assert!((sol.total_power_mw - 1.0).abs() < 1e-9, "{}", sol.total_power_mw);
+        assert!(
+            (sol.total_power_mw - 1.0).abs() < 1e-9,
+            "{}",
+            sol.total_power_mw
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ mod tests {
     #[test]
     fn spacing_ghz_anchor() {
         let p = ChannelPlan::dense(2);
-        assert!((p.spacing_ghz() - 99.8).abs() < 1.0, "got {}", p.spacing_ghz());
+        assert!(
+            (p.spacing_ghz() - 99.8).abs() < 1.0,
+            "got {}",
+            p.spacing_ghz()
+        );
     }
 
     #[test]

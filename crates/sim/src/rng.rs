@@ -1,7 +1,7 @@
 //! Deterministic random-number utilities for reproducible simulations.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Self-contained (no external crates): a xoshiro256++ core seeded via
+//! splitmix64, plus the handful of distributions the simulators use.
 
 /// A seeded RNG with helpers for the distributions the simulators use.
 ///
@@ -20,21 +20,55 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child RNG; `label` decorrelates streams that
     /// share a parent seed (e.g. per-chiplet process variation).
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let s: u64 = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s: u64 = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
@@ -45,7 +79,19 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Multiply-shift rejection (Lemire); bias-free.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo < bound {
+                let threshold = bound.wrapping_neg() % bound;
+                if lo < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -55,13 +101,19 @@ impl SimRng {
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.unit_f64() * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
     }
 
     /// Standard-normal sample via Box-Muller (no extra deps).
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1: f64 = self.unit_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -78,7 +130,7 @@ impl SimRng {
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit_f64() < p
     }
 }
 
@@ -132,5 +184,15 @@ mod tests {
             let x = r.uniform_f64(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_small_bounds() {
+        let mut r = SimRng::seed_from(17);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.uniform_u64(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "small bound not fully covered");
     }
 }

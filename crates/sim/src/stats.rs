@@ -303,7 +303,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&mut self, t: SimTime) {
         let ps = t.as_ps();
-        let idx = if ps == 0 { 0 } else { 63 - ps.leading_zeros() as usize };
+        let idx = if ps == 0 {
+            0
+        } else {
+            63 - ps.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.total_ps += ps as u128;
@@ -346,7 +350,11 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return SimTime::from_ps(hi);
             }
         }

@@ -40,9 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n64-wavelength SWMR solution:");
     println!("  required at PD:     {}", design.required_at_pd);
     println!("  required at laser:  {}", design.required_at_laser);
-    println!("  laser (electrical): {:.2} W per broadcast tree", design.laser_electrical_w);
-    println!("  aggregate rate:     {:.0} Gb/s", design.aggregate_rate_gbps);
-    println!("  crosstalk penalty:  {:.2} dB", design.crosstalk_penalty_db);
+    println!(
+        "  laser (electrical): {:.2} W per broadcast tree",
+        design.laser_electrical_w
+    );
+    println!(
+        "  aggregate rate:     {:.0} Gb/s",
+        design.aggregate_rate_gbps
+    );
+    println!(
+        "  crosstalk penalty:  {:.2} dB",
+        design.crosstalk_penalty_db
+    );
     println!(
         "  laser energy/bit:   {:.1} fJ",
         design.laser_energy_per_bit() * 1e15

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn section(
     title: &str,
-    rows: &[(String, lumos::core::RunReport, lumos::core::RunReport, lumos::core::RunReport)],
+    rows: &[(
+        String,
+        lumos::core::RunReport,
+        lumos::core::RunReport,
+        lumos::core::RunReport,
+    )],
     metric: impl Fn(&lumos::core::RunReport) -> f64,
 ) {
     println!("== {title} ==");

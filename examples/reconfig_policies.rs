@@ -15,7 +15,10 @@ use lumos::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policies = [
         (ReconfigPolicy::ResipiGateways, "ReSiPI (gateways)"),
-        (ReconfigPolicy::ProwavesWavelengths, "PROWAVES (wavelengths)"),
+        (
+            ReconfigPolicy::ProwavesWavelengths,
+            "PROWAVES (wavelengths)",
+        ),
         (ReconfigPolicy::StaticFull, "Static (all on)"),
         (ReconfigPolicy::StaticMin, "Static (minimum)"),
     ];

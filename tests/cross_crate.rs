@@ -134,16 +134,13 @@ fn pam4_raises_line_rate_at_laser_cost() {
     let mut cfg = PlatformConfig::paper_table1();
     cfg.phnet.modulation = ModulationFormat::Pam4;
     cfg.phnet.rate_gbps = 24.0; // same 12 GBaud symbol rate, 2 bits/symbol
-    let pam4 = Runner::new(cfg)
-        .run(&Platform::Siph2p5D, &model)
-        .unwrap();
+    let pam4 = Runner::new(cfg).run(&Platform::Siph2p5D, &model).unwrap();
 
     // VGG-16 on SiPh is mostly compute-bound, so total latency barely
     // moves (and may wobble ±0.5% from epoch-threshold shifts); the
     // physical effect is on communication time and laser energy.
-    let comm_in = |r: &lumos::core::RunReport| -> f64 {
-        r.layers.iter().map(|l| l.comm_in_s).sum()
-    };
+    let comm_in =
+        |r: &lumos::core::RunReport| -> f64 { r.layers.iter().map(|l| l.comm_in_s).sum() };
     assert!(
         comm_in(&pam4) < comm_in(&ook),
         "doubled line rate must shrink inbound streaming: {} vs {}",

@@ -130,8 +130,7 @@ fn siph_wins_every_large_model() {
         let elec = runner.run(&Platform::Elec2p5D, &model).unwrap();
         let siph = runner.run(&Platform::Siph2p5D, &model).unwrap();
         assert!(
-            siph.total_latency < mono.total_latency
-                && siph.total_latency < elec.total_latency,
+            siph.total_latency < mono.total_latency && siph.total_latency < elec.total_latency,
             "{}: siph must be fastest",
             model.name()
         );

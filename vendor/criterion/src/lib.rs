@@ -1,0 +1,255 @@
+//! Offline shim for the subset of the `criterion` API used by LUMOS.
+//!
+//! See `vendor/criterion/README.md` for scope. Timing is a simple
+//! warmup + fixed-window mean, not criterion's statistical sampling.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Label for a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Measurement window; smaller `sample_size` shrinks it.
+    window: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            window,
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Run `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one call, and estimate per-iter cost.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for enough iterations to fill the window, capped to keep
+        // pathological cases bounded.
+        let target = (self.window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean_ns = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.mean_ns.is_nan() {
+        println!("{label:<50} (no measurement)");
+    } else if b.mean_ns >= 1_000_000.0 {
+        println!(
+            "{label:<50} {:>12.3} ms/iter ({} iters)",
+            b.mean_ns / 1e6,
+            b.iters
+        );
+    } else if b.mean_ns >= 1_000.0 {
+        println!(
+            "{label:<50} {:>12.3} us/iter ({} iters)",
+            b.mean_ns / 1e3,
+            b.iters
+        );
+    } else {
+        println!(
+            "{label:<50} {:>12.1} ns/iter ({} iters)",
+            b.mean_ns, b.iters
+        );
+    }
+}
+
+/// Top-level benchmark registry (shim: just a timing front-end).
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Time a single benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            window: self.window,
+            _parent: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    window: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible knob; the shim scales its timing window by
+    /// `n / 100` (criterion's default sample count) instead.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scaled = self.window.as_millis() as u64 * (n as u64).max(1) / 100;
+        self.window = Duration::from_millis(scaled.max(10));
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), &b);
+        self
+    }
+
+    /// Time one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.window);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, n| {
+            b.iter(|| black_box(*n) * 2)
+        });
+        g.bench_function(BenchmarkId::new("f", "x"), |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

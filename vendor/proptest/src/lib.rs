@@ -1,0 +1,219 @@
+//! Offline shim for the subset of the `proptest` API used by LUMOS.
+//!
+//! See `vendor/proptest/README.md` for scope and divergences from the
+//! real crate (chiefly: deterministic seeds, no shrinking).
+
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod sample;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The conventional glob import for test files.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, re-exporting the strategy
+    /// modules under a short alias.
+    pub mod prop {
+        pub use crate::{bool, collection, sample, strategy};
+    }
+}
+
+/// Expands `#[test] fn name(arg in strategy, ...)` items into ordinary
+/// `#[test]` functions that sample each strategy `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(&__cfg, stringify!($name), |__rng| {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, __rng);
+                let __input_debug = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg,)+
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    ::core::result::Result::Ok(r) => r.map_err(|e| e.with_input(__input_debug)),
+                    ::core::result::Result::Err(payload) => ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::from_panic(payload.as_ref())
+                            .with_input(__input_debug),
+                    ),
+                }
+            });
+        }
+        $crate::__proptest_items!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in -2.0f64..2.0, z in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_len_and_map(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!(*e < 5);
+            }
+        }
+
+        #[test]
+        fn select_and_bool(k in crate::sample::select(vec![1u32, 3, 5]), b in prop::bool::ANY) {
+            prop_assert!(k == 1 || k == 3 || k == 5);
+            prop_assert_eq!(u32::from(b) <= 1, true);
+        }
+
+        #[test]
+        fn mapped_tuples(p in (0u32..4, 0u32..4).prop_map(|(a, b)| a + 10 * b)) {
+            prop_assert!(p <= 33);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let cfg = ProptestConfig::with_cases(8);
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&cfg, "always_fails", |rng| {
+                let x = crate::strategy::Strategy::generate(&(0u64..10), rng);
+                let _ = x;
+                Err(TestCaseError::fail("deliberate".to_string()))
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panicking_body_reports_case_and_input() {
+        proptest! {
+            #[allow(unused)]
+            fn panics_inside(x in 0u64..4) {
+                let _ = x;
+                panic!("boom");
+            }
+        }
+        let result = std::panic::catch_unwind(panics_inside);
+        let payload = result.expect_err("must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("test body panicked: boom"), "got: {msg}");
+        assert!(msg.contains("PROPTEST_SEED="), "missing seed: {msg}");
+        assert!(msg.contains("x = "), "missing input dump: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::rng::TestRng::for_test("t", 0, 7);
+        let mut b = crate::rng::TestRng::for_test("t", 0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly among a fixed set of values.
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.items.len() as u64) as usize;
+        self.items[i].clone()
+    }
+}
+
+/// Choose uniformly from `items`.
+///
+/// # Panics
+///
+/// Panics (at generation time) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}

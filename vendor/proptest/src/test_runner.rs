@@ -1,0 +1,90 @@
+//! Case loop, configuration, and failure plumbing.
+
+use crate::rng::TestRng;
+
+/// Per-suite configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases }
+    }
+}
+
+/// A rejected test case: the assertion message plus the generated input.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    input: Option<String>,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            message,
+            input: None,
+        }
+    }
+
+    /// Attach the `Debug` rendering of the generated input.
+    pub fn with_input(mut self, input: String) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// Failure from a caught panic payload (e.g. an `.expect()` inside a
+    /// test body), so panics get the same case/seed/input report as
+    /// `prop_assert!` failures.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "test body panicked (non-string payload)".to_string());
+        TestCaseError::fail(format!("test body panicked: {message}"))
+    }
+}
+
+fn run_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x1_0905_2023)
+}
+
+/// Drive `case` once per configured case count, panicking on the first
+/// failure with enough context to reproduce it.
+pub fn run<F>(config: &Config, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = run_seed();
+    for i in 0..config.cases {
+        let mut rng = TestRng::for_test(test_name, seed, i as u64);
+        if let Err(e) = case(&mut rng) {
+            let input = e.input.as_deref().unwrap_or("  (input unavailable)\n");
+            panic!(
+                "proptest case failed: {}\n\
+                 test `{}`, case {}/{} (PROPTEST_SEED={})\n\
+                 input:\n{}",
+                e.message, test_name, i, config.cases, seed, input
+            );
+        }
+    }
+}
