@@ -1,8 +1,14 @@
 //! Experiment A2 (paper conclusion, open challenge 3): gateways-per-
 //! chiplet sweep. More gateways buy inter-chiplet bandwidth at laser,
 //! tuning, and MRG-footprint cost.
+//!
+//! The print sweep runs through the `lumos_dse` engine on the shared
+//! [`DseAxes::gateway_ablation`] grid (wavelengths fixed at Table 1's
+//! 64).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::bench_threads;
+use lumos_core::dse::{self, DseAxes, MemoCache};
 use lumos_core::{Platform, PlatformConfig, Runner};
 
 fn sweep() {
@@ -11,20 +17,22 @@ fn sweep() {
         "{:<8} {:>12} {:>10} {:>12} {:>14}",
         "gw", "lat (ms)", "P (W)", "EPB (nJ/b)", "net rings"
     );
-    for gateways in [1usize, 2, 4, 6, 8] {
-        let mut cfg = PlatformConfig::paper_table1();
-        cfg.phnet.gateways_per_chiplet = gateways;
-        let rings = cfg.phnet.total_rings();
-        match Runner::new(cfg).run(&Platform::Siph2p5D, &lumos_dnn::zoo::vgg16()) {
-            Ok(r) => println!(
+    let base = PlatformConfig::paper_table1();
+    let axes = DseAxes::gateway_ablation();
+    let mut cache = MemoCache::in_memory();
+    let model = lumos_dnn::zoo::vgg16();
+    let (points, _) = dse::sweep_with(&base, &axes, &model, bench_threads(), Some(&mut cache));
+    for p in points {
+        let rings = dse::grid_config(&base, p.wavelengths, p.gateways, p.mac_scale)
+            .phnet
+            .total_rings();
+        if p.feasible {
+            println!(
                 "{:<8} {:>12.3} {:>10.1} {:>12.3} {:>14}",
-                gateways,
-                r.latency_ms(),
-                r.avg_power_w(),
-                r.epb_nj(),
-                rings
-            ),
-            Err(e) => println!("{gateways:<8} infeasible: {e}"),
+                p.gateways, p.latency_ms, p.power_w, p.epb_nj, rings
+            );
+        } else {
+            println!("{:<8} infeasible ({rings} rings)", p.gateways);
         }
     }
     println!();

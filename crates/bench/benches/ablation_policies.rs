@@ -1,8 +1,10 @@
 //! Experiment A3: reconfiguration-policy ablation — ReSiPI gateway
 //! activation vs PROWAVES wavelength scaling vs static corners, averaged
-//! over the Table 2 models.
+//! over the Table 2 models. The 4 policies × 5 models grid evaluates in
+//! parallel through the `lumos_dse` worker pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::bench_threads;
 use lumos_core::{Platform, PlatformConfig, Runner};
 use lumos_phnet::ReconfigPolicy;
 
@@ -19,25 +21,26 @@ fn sweep() {
         "{:<14} {:>12} {:>10} {:>12}",
         "policy", "lat (ms)", "P (W)", "EPB (nJ/b)"
     );
-    for (policy, name) in POLICIES {
+    let models = lumos_dnn::zoo::table2_models();
+    let cells: Vec<(ReconfigPolicy, &lumos_dnn::Model)> = POLICIES
+        .iter()
+        .flat_map(|&(policy, _)| models.iter().map(move |m| (policy, m)))
+        .collect();
+    let reports = lumos_dse::parallel_map(&cells, bench_threads(), |(policy, model)| {
         let mut cfg = PlatformConfig::paper_table1();
-        cfg.phnet.policy = policy;
-        let runner = Runner::new(cfg);
-        let models = lumos_dnn::zoo::table2_models();
-        let (mut lat, mut p, mut epb) = (0.0, 0.0, 0.0);
-        for model in &models {
-            let r = runner.run(&Platform::Siph2p5D, model).expect("feasible");
-            lat += r.latency_ms();
-            p += r.avg_power_w();
-            epb += r.epb_nj();
-        }
-        let n = models.len() as f64;
+        cfg.phnet.policy = *policy;
+        Runner::new(cfg)
+            .run(&Platform::Siph2p5D, model)
+            .expect("feasible")
+    });
+    let n = models.len() as f64;
+    for ((_, name), chunk) in POLICIES.iter().zip(reports.chunks(models.len())) {
         println!(
             "{:<14} {:>12.3} {:>10.1} {:>12.3}",
             name,
-            lat / n,
-            p / n,
-            epb / n
+            chunk.iter().map(|r| r.latency_ms()).sum::<f64>() / n,
+            chunk.iter().map(|r| r.avg_power_w()).sum::<f64>() / n,
+            chunk.iter().map(|r| r.epb_nj()).sum::<f64>() / n
         );
     }
     println!();

@@ -1,8 +1,14 @@
 //! Experiment A1 (paper conclusion, open challenge 3): wavelength-count
 //! sweep. Prints the latency/power trade for 8..64 wavelengths on
 //! ResNet-50 and VGG-16, then benchmarks representative points.
+//!
+//! The print sweep runs through the `lumos_dse` engine on the shared
+//! [`DseAxes::wavelength_ablation`] grid (gateways fixed at Table 1's
+//! 4), in parallel and memoized within the process.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::bench_threads;
+use lumos_core::dse::{self, DseAxes, MemoCache};
 use lumos_core::{Platform, PlatformConfig, Runner};
 
 fn sweep() {
@@ -11,20 +17,23 @@ fn sweep() {
         "{:<8} {:<14} {:>12} {:>10} {:>12}",
         "λ", "model", "lat (ms)", "P (W)", "EPB (nJ/b)"
     );
-    for wavelengths in [8usize, 16, 32, 48, 64] {
-        for model in [lumos_dnn::zoo::resnet50(), lumos_dnn::zoo::vgg16()] {
-            let mut cfg = PlatformConfig::paper_table1();
-            cfg.phnet.wavelengths = wavelengths;
-            match Runner::new(cfg).run(&Platform::Siph2p5D, &model) {
-                Ok(r) => println!(
+    let base = PlatformConfig::paper_table1();
+    let axes = DseAxes::wavelength_ablation();
+    let mut cache = MemoCache::in_memory();
+    for model in [lumos_dnn::zoo::resnet50(), lumos_dnn::zoo::vgg16()] {
+        let (points, _) = dse::sweep_with(&base, &axes, &model, bench_threads(), Some(&mut cache));
+        for p in points {
+            if p.feasible {
+                println!(
                     "{:<8} {:<14} {:>12.3} {:>10.1} {:>12.3}",
-                    wavelengths,
+                    p.wavelengths,
                     model.name(),
-                    r.latency_ms(),
-                    r.avg_power_w(),
-                    r.epb_nj()
-                ),
-                Err(e) => println!("{:<8} {:<14} infeasible: {e}", wavelengths, model.name()),
+                    p.latency_ms,
+                    p.power_w,
+                    p.epb_nj
+                );
+            } else {
+                println!("{:<8} {:<14} infeasible", p.wavelengths, model.name());
             }
         }
     }

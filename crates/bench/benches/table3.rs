@@ -7,7 +7,8 @@
 //! artifact and tracks simulator performance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lumos_bench::{ratio, run_full_evaluation};
+use lumos_bench::{ratio, run_full_evaluation, run_full_evaluation_with};
+use lumos_core::dse::{self, DseAxes, MemoCache};
 use lumos_core::reference::{LITERATURE, PAPER_SIMULATED};
 use lumos_core::{Platform, PlatformConfig, Runner};
 
@@ -52,6 +53,30 @@ fn bench_table3(c: &mut Criterion) {
     group.bench_function("full_evaluation_15_runs", |b| {
         b.iter(|| run_full_evaluation(&cfg))
     });
+    // The same 15 runs pinned to one worker: the sequential baseline the
+    // parallel engine is measured against on multi-core runners.
+    group.bench_function("full_evaluation_sequential", |b| {
+        b.iter(|| run_full_evaluation_with(&cfg, 1))
+    });
+
+    // The paper-conclusion DSE sweep (18 points, ResNet-50): sequential
+    // and uncached vs parallel through a warm memo cache. The memoized
+    // sweep should win by orders of magnitude — it simulates nothing.
+    let model = lumos_dnn::zoo::resnet50();
+    let axes = DseAxes::paper_conclusion();
+    group.bench_function("dse_sweep_sequential", |b| {
+        b.iter(|| dse::sweep_with(&cfg, &axes, &model, 1, None))
+    });
+    let mut cache = MemoCache::in_memory();
+    let _ = dse::sweep_with(&cfg, &axes, &model, 0, Some(&mut cache));
+    group.bench_function("dse_sweep_memoized", |b| {
+        b.iter(|| {
+            let (points, stats) = dse::sweep_with(&cfg, &axes, &model, 0, Some(&mut cache));
+            assert!(stats.all_hits());
+            points
+        })
+    });
+
     let runner = Runner::new(cfg);
     group.bench_function("resnet50_on_siph", |b| {
         b.iter(|| {

@@ -2,8 +2,9 @@
 //! T1, T2, T3, X1).
 //!
 //! ```text
-//! cargo run -p lumos-bench --bin tables            # all tables
-//! cargo run -p lumos-bench --bin tables -- table3  # one table
+//! cargo run -p lumos-bench --bin tables                         # all tables
+//! cargo run -p lumos-bench --bin tables -- table3               # one table
+//! cargo run -p lumos-bench --bin tables -- table3 --threads 2   # pin workers
 //! ```
 
 use lumos_bench::{ratio, run_full_evaluation};
@@ -13,7 +14,12 @@ use lumos_core::PlatformConfig;
 use lumos_dnn::zoo;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    // `--threads N` is consumed by lumos_bench::bench_threads(); the
+    // first remaining argument selects the table.
+    let which = lumos_bench::strip_thread_flags(std::env::args().skip(1))
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".to_owned());
     let cfg = PlatformConfig::paper_table1();
     match which.as_str() {
         "table1" => table1(&cfg),

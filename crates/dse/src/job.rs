@@ -1,0 +1,315 @@
+//! The sweep worker pool: scoped std threads, an atomic work queue, and
+//! deterministic result ordering.
+//!
+//! Two layers:
+//!
+//! * [`parallel_map`] — evaluate arbitrary points to arbitrary results
+//!   in parallel, results in input order (used by `lumos_bench` for full
+//!   Table 2 × platform evaluations, where the result is a whole run
+//!   report);
+//! * [`SweepJob`] — the same pool plus the memoization layer for
+//!   [`DseMetrics`]-valued sweeps: cache lookups first, one evaluation
+//!   per *distinct* missing key, results fanned back out in input order.
+//!
+//! Results are deterministic regardless of thread count because the
+//! simulator itself is deterministic and every result lands in its input
+//! slot; thread scheduling only changes who computes what, never what is
+//! computed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::cache::MemoCache;
+use crate::point::DseMetrics;
+
+/// Environment variable overriding the worker-thread count
+/// (`LUMOS_DSE_THREADS=2`); useful to pin CI machines with few cores.
+pub const THREADS_ENV: &str = "LUMOS_DSE_THREADS";
+
+/// The default worker count: [`THREADS_ENV`] if set to a positive
+/// integer, otherwise `std::thread::available_parallelism()`, otherwise 1.
+pub fn available_threads() -> usize {
+    if let Some(v) = std::env::var_os(THREADS_ENV) {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates `eval` over `points` on `threads` workers (0 = default),
+/// returning results in input order.
+///
+/// Work is dealt through an atomic index, so a slow point never stalls
+/// the queue behind it. With one thread (or one point) evaluation runs
+/// inline — the sequential baseline the property tests compare against.
+///
+/// # Panics
+///
+/// A panic inside `eval` is resumed on the calling thread once the other
+/// workers drain.
+pub fn parallel_map<P, R, F>(points: &[P], threads: usize, eval: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = points.len();
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+    .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return points.iter().map(&eval).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, eval(&points[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep point evaluated exactly once"))
+        .collect()
+}
+
+/// Accounting for one memoized sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Points requested.
+    pub points: usize,
+    /// Points served from the memo (including duplicates within the
+    /// sweep, which are evaluated once and fanned out).
+    pub hits: usize,
+    /// Points actually evaluated.
+    pub evaluated: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepStats {
+    /// Whether every point came from the cache.
+    pub fn all_hits(&self) -> bool {
+        self.hits == self.points
+    }
+}
+
+/// A batch of points to evaluate: the worker pool plus (optionally) the
+/// memo layer.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_dse::{DseMetrics, MemoCache, SweepJob};
+///
+/// let job = SweepJob::new(vec![1u64, 2, 3, 2]).threads(2);
+/// let mut cache = MemoCache::in_memory();
+/// let eval = |&x: &u64| DseMetrics {
+///     latency_ms: x as f64,
+///     power_w: 0.0,
+///     epb_nj: 0.0,
+///     feasible: true,
+/// };
+/// let (out, stats) = job.run_memoized(&mut cache, |&x| x, eval);
+/// assert_eq!(out.len(), 4);
+/// assert_eq!(stats.evaluated, 3); // the duplicate `2` is evaluated once
+/// let (_, stats) = job.run_memoized(&mut cache, |&x| x, eval);
+/// assert!(stats.all_hits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepJob<P> {
+    points: Vec<P>,
+    threads: usize,
+}
+
+impl<P: Sync> SweepJob<P> {
+    /// A job over `points` with the default worker count.
+    pub fn new(points: Vec<P>) -> Self {
+        SweepJob {
+            points,
+            threads: available_threads(),
+        }
+    }
+
+    /// Overrides the worker count (0 restores the default).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { available_threads() } else { n };
+        self
+    }
+
+    /// The worker count this job will use.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The points to evaluate, in result order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Evaluates every point in parallel (no memoization), results in
+    /// input order.
+    pub fn run<R, F>(&self, eval: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        parallel_map(&self.points, self.threads, eval)
+    }
+
+    /// Evaluates the sweep through `cache`: keys are computed with
+    /// `key`, hits are served from the memo, and only the *distinct*
+    /// missing keys are evaluated (in parallel). Results come back in
+    /// input order and new results are inserted into the cache.
+    pub fn run_memoized<K, F>(
+        &self,
+        cache: &mut MemoCache,
+        key: K,
+        eval: F,
+    ) -> (Vec<DseMetrics>, SweepStats)
+    where
+        K: Fn(&P) -> u64,
+        F: Fn(&P) -> DseMetrics + Sync,
+    {
+        let n = self.points.len();
+        let keys: Vec<u64> = self.points.iter().map(&key).collect();
+        let mut results: Vec<Option<DseMetrics>> = vec![None; n];
+        // key → indices of sweep points awaiting that evaluation, in
+        // first-seen order (so evaluation order is deterministic too).
+        let mut pending: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut pending_of: HashMap<u64, usize> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(m) = cache.get(k) {
+                results[i] = Some(m);
+            } else if let Some(&slot) = pending_of.get(&k) {
+                pending[slot].1.push(i);
+            } else {
+                pending_of.insert(k, pending.len());
+                pending.push((k, vec![i]));
+            }
+        }
+
+        let todo: Vec<&P> = pending
+            .iter()
+            .map(|(_, idxs)| &self.points[idxs[0]])
+            .collect();
+        let fresh = parallel_map(&todo, self.threads, |p| eval(p));
+        for ((k, idxs), m) in pending.iter().zip(fresh) {
+            cache.insert(*k, m);
+            for &i in idxs {
+                results[i] = Some(m);
+            }
+        }
+
+        let evaluated = pending.len();
+        let out: Vec<DseMetrics> = results
+            .into_iter()
+            .map(|r| r.expect("every sweep point resolved"))
+            .collect();
+        (
+            out,
+            SweepStats {
+                points: n,
+                hits: n - evaluated,
+                evaluated,
+                threads: self.threads.min(evaluated.max(1)),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let points: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(&points, threads, |&x| x * x);
+            let expect: Vec<u64> = points.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let out = parallel_map(&[1u32, 2, 3], 0, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let job = SweepJob::new(vec![1u32]).threads(0);
+        assert_eq!(job.thread_count(), available_threads());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn memoized_sweep_dedups_and_hits() {
+        let m = |v: u64| DseMetrics {
+            latency_ms: v as f64,
+            power_w: 1.0,
+            epb_nj: 1.0,
+            feasible: true,
+        };
+        let job = SweepJob::new(vec![7u64, 8, 7, 9, 8]).threads(4);
+        let mut cache = MemoCache::in_memory();
+        let (out, stats) = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+        assert_eq!(stats.points, 5);
+        assert_eq!(stats.evaluated, 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(out[0], m(7));
+        assert_eq!(out[2], m(7));
+        assert_eq!(out[4], m(8));
+
+        let (out2, stats2) = job.run_memoized(&mut cache, |&x| x, |_| panic!("must not re-run"));
+        assert!(stats2.all_hits());
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let points: Vec<u64> = (0..16).collect();
+        let _ = parallel_map(&points, 4, |&x| {
+            if x == 5 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

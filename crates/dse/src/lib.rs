@@ -1,0 +1,62 @@
+//! # lumos-dse — parallel, memoized design-space exploration engine
+//!
+//! The paper's conclusion (§VII) names design-space exploration — in
+//! wavelengths, gateways per chiplet, and MACs per chiplet — as the open
+//! challenge for tailoring the photonic 2.5D platform to DNNs of
+//! interest. The useful design space is far larger than a fixed triple
+//! loop, so this crate turns point evaluation into an engine:
+//!
+//! * [`job`] — a scoped-thread worker pool ([`parallel_map`],
+//!   [`SweepJob`]) with an atomic work queue and deterministic result
+//!   ordering, `std`-only;
+//! * [`cache`] — a memoization layer ([`MemoCache`]) keyed by stable
+//!   `u64` fingerprints, with optional bit-exact persistence under
+//!   `target/dse-cache` so repeated sweeps are incremental;
+//! * [`hash`] — the unkeyed [`StableHasher`] those fingerprints are
+//!   built with;
+//! * [`point`] — the shared sweep vocabulary ([`DseAxes`] grids,
+//!   [`DsePoint`], [`DseMetrics`]);
+//! * [`pareto`] — frontier extraction and successive-halving axis
+//!   refinement around the frontier.
+//!
+//! The crate is deliberately platform-agnostic: it knows nothing about
+//! runners or photonics. `lumos_core::dse` supplies the glue (stable
+//! fingerprints of platform configurations and models, and sweeps that
+//! evaluate through the simulator) and re-exports everything here, so
+//! existing `lumos_core::dse` callers keep working unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use lumos_dse::{DseMetrics, MemoCache, SweepJob};
+//!
+//! // Any point type works; here the "configuration" is just a number.
+//! let job = SweepJob::new(vec![1u64, 2, 3]).threads(2);
+//! let mut cache = MemoCache::in_memory();
+//! let eval = |&x: &u64| DseMetrics {
+//!     latency_ms: x as f64,
+//!     power_w: 1.0,
+//!     epb_nj: 1.0,
+//!     feasible: true,
+//! };
+//! let (first, stats) = job.run_memoized(&mut cache, |&x| x, eval);
+//! assert_eq!(stats.evaluated, 3);
+//! let (second, stats) = job.run_memoized(&mut cache, |&x| x, eval);
+//! assert!(stats.all_hits());
+//! assert_eq!(first, second);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod pareto;
+pub mod point;
+
+pub use cache::{MemoCache, CACHE_DIR_ENV, DEFAULT_CACHE_DIR};
+pub use hash::StableHasher;
+pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
+pub use pareto::{pareto_front, pareto_front_by, refine_axes};
+pub use point::{DseAxes, DseMetrics, DsePoint};

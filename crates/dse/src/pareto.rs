@@ -1,0 +1,198 @@
+//! Pareto-frontier extraction and axis refinement (successive halving
+//! around the frontier).
+
+use crate::point::{DseAxes, DsePoint};
+
+/// Extracts the non-dominated subset of `items` on the `(fx, fy)` plane
+/// (both minimized), considering only items where `feasible` holds.
+///
+/// Domination is weak on one axis and strict on the other, matching the
+/// original `lumos_core::dse` semantics: `q` dominates `p` when it is no
+/// worse on both axes and strictly better on at least one. The front is
+/// sorted by `(fx, fy)`.
+pub fn pareto_front_by<T, X, Y, G>(items: &[T], fx: X, fy: Y, feasible: G) -> Vec<T>
+where
+    T: Clone,
+    X: Fn(&T) -> f64,
+    Y: Fn(&T) -> f64,
+    G: Fn(&T) -> bool,
+{
+    let live: Vec<&T> = items.iter().filter(|t| feasible(t)).collect();
+    let mut front: Vec<T> = live
+        .iter()
+        .filter(|p| {
+            !live
+                .iter()
+                .any(|q| (fx(q) < fx(p) && fy(q) <= fy(p)) || (fx(q) <= fx(p) && fy(q) < fy(p)))
+        })
+        .map(|p| (*p).clone())
+        .collect();
+    front.sort_by(|a, b| fx(a).total_cmp(&fx(b)).then(fy(a).total_cmp(&fy(b))));
+    front
+}
+
+/// Extracts the Pareto front of feasible points on (latency, power),
+/// sorted by latency.
+///
+/// The sort is made total (power, then grid coordinates break latency
+/// ties), so the front is identical for any input ordering.
+pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
+    let mut front = pareto_front_by(points, |p| p.latency_ms, |p| p.power_w, |p| p.feasible);
+    front.sort_by(|a, b| {
+        a.latency_ms
+            .total_cmp(&b.latency_ms)
+            .then(a.power_w.total_cmp(&b.power_w))
+            .then(a.wavelengths.cmp(&b.wavelengths))
+            .then(a.gateways.cmp(&b.gateways))
+            .then(a.mac_scale.total_cmp(&b.mac_scale))
+    });
+    front
+}
+
+/// Refines `axes` around `front` by successive halving: each axis keeps
+/// the values the frontier actually uses and adds the midpoints between
+/// those values and their neighbors on the original grid.
+///
+/// The refined grid is *focused*, not cumulative — re-sweeping it
+/// re-requests some old points, which the memo cache serves for free,
+/// while the midpoints probe the space between frontier corners. An
+/// empty frontier returns the axes unchanged.
+pub fn refine_axes(axes: &DseAxes, front: &[DsePoint]) -> DseAxes {
+    if front.is_empty() {
+        return axes.clone();
+    }
+    DseAxes {
+        wavelengths: refine_usize_axis(
+            &axes.wavelengths,
+            &front.iter().map(|p| p.wavelengths).collect::<Vec<_>>(),
+        ),
+        gateways: refine_usize_axis(
+            &axes.gateways,
+            &front.iter().map(|p| p.gateways).collect::<Vec<_>>(),
+        ),
+        mac_scales: refine_f64_axis(
+            &axes.mac_scales,
+            &front.iter().map(|p| p.mac_scale).collect::<Vec<_>>(),
+        ),
+    }
+}
+
+fn refine_usize_axis(grid: &[usize], chosen: &[usize]) -> Vec<usize> {
+    let mut sorted: Vec<usize> = grid.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out: Vec<usize> = Vec::new();
+    for &v in chosen {
+        out.push(v);
+        if let Ok(i) = sorted.binary_search(&v) {
+            if i > 0 {
+                out.push(sorted[i - 1].midpoint(v));
+            }
+            if i + 1 < sorted.len() {
+                out.push(v.midpoint(sorted[i + 1]));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn refine_f64_axis(grid: &[f64], chosen: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = grid.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted.dedup_by(|a, b| a == b);
+    let mut out: Vec<f64> = Vec::new();
+    for &v in chosen {
+        out.push(v);
+        if let Some(i) = sorted.iter().position(|&g| g == v) {
+            if i > 0 {
+                out.push(0.5 * (sorted[i - 1] + v));
+            }
+            if i + 1 < sorted.len() {
+                out.push(0.5 * (v + sorted[i + 1]));
+            }
+        }
+    }
+    out.sort_by(f64::total_cmp);
+    out.dedup_by(|a, b| a == b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DseMetrics;
+
+    fn pt(w: usize, lat: f64, pow: f64) -> DsePoint {
+        DsePoint::new(
+            w,
+            1,
+            1.0,
+            DseMetrics {
+                latency_ms: lat,
+                power_w: pow,
+                epb_nj: 1.0,
+                feasible: true,
+            },
+        )
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let points = vec![pt(1, 1.0, 10.0), pt(2, 2.0, 5.0), pt(3, 2.5, 7.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].latency_ms, 1.0);
+        assert_eq!(front[1].latency_ms, 2.0);
+    }
+
+    #[test]
+    fn front_invariant_to_input_ordering() {
+        let mut points = vec![
+            pt(1, 1.0, 10.0),
+            pt(2, 2.0, 5.0),
+            pt(3, 2.5, 7.0),
+            pt(4, 1.0, 10.0), // duplicate metrics, different coordinate
+        ];
+        let a = pareto_front(&points);
+        points.reverse();
+        let b = pareto_front(&points);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infeasible_points_never_enter_front() {
+        let mut bad = pt(1, 0.1, 0.1);
+        bad.feasible = false;
+        bad.latency_ms = f64::NAN;
+        let front = pareto_front(&[bad, pt(2, 5.0, 5.0)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].wavelengths, 2);
+    }
+
+    #[test]
+    fn refine_halves_toward_grid_neighbors() {
+        let axes = DseAxes::from_slices(&[16, 32, 64], &[1, 2, 4], &[0.5, 1.0]);
+        let front = vec![pt(32, 1.0, 1.0)]; // gateways=1, mac_scale=1.0
+        let refined = refine_axes(&axes, &front);
+        assert_eq!(refined.wavelengths, vec![24, 32, 48]);
+        // gateways: frontier at the low edge — only the upper midpoint
+        // ((1+2)/2 = 1) collapses into the kept value.
+        assert_eq!(refined.gateways, vec![1]);
+        assert_eq!(refined.mac_scales, vec![0.75, 1.0]);
+    }
+
+    #[test]
+    fn empty_front_leaves_axes_unchanged() {
+        let axes = DseAxes::paper_conclusion();
+        assert_eq!(refine_axes(&axes, &[]), axes);
+    }
+
+    #[test]
+    fn generic_front_takes_any_accessors() {
+        let items = [(1.0f64, 5.0f64), (2.0, 1.0), (3.0, 3.0)];
+        let front = pareto_front_by(&items, |t| t.0, |t| t.1, |_| true);
+        assert_eq!(front, vec![(1.0, 5.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The swept axes and evaluated points of a design-space exploration.
+//!
+//! These types used to live in `lumos_core::dse`; they are pure data
+//! (counts and metrics, no platform machinery) and moved here so the
+//! engine, core, benches, and examples all share one definition.
+
+/// The metrics of one evaluated (configuration, model) point — the value
+/// stored in the memo cache.
+///
+/// Infeasible points carry NaN metrics and `feasible = false`; they are
+/// kept rather than dropped because *where* the laser/crosstalk wall
+/// sits is part of the exploration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseMetrics {
+    /// End-to-end latency, milliseconds.
+    pub latency_ms: f64,
+    /// Time-averaged power, watts.
+    pub power_w: f64,
+    /// Energy per bit, nanojoules.
+    pub epb_nj: f64,
+    /// Whether the photonic link budget closed for this point.
+    pub feasible: bool,
+}
+
+impl DseMetrics {
+    /// The record of a point whose link budget did not close.
+    pub fn infeasible() -> Self {
+        DseMetrics {
+            latency_ms: f64::NAN,
+            power_w: f64::NAN,
+            epb_nj: f64::NAN,
+            feasible: false,
+        }
+    }
+
+    /// Bit-exact equality (NaN payloads included) — the cache must
+    /// return exactly what was stored.
+    pub fn bit_eq(&self, other: &DseMetrics) -> bool {
+        self.latency_ms.to_bits() == other.latency_ms.to_bits()
+            && self.power_w.to_bits() == other.power_w.to_bits()
+            && self.epb_nj.to_bits() == other.epb_nj.to_bits()
+            && self.feasible == other.feasible
+    }
+}
+
+/// One evaluated configuration: its grid coordinates plus its metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// Wavelengths per gateway.
+    pub wavelengths: usize,
+    /// Gateways per compute chiplet.
+    pub gateways: usize,
+    /// MAC-count scale factor applied to every chiplet class.
+    pub mac_scale: f64,
+    /// End-to-end latency, milliseconds.
+    pub latency_ms: f64,
+    /// Time-averaged power, watts.
+    pub power_w: f64,
+    /// Energy per bit, nanojoules.
+    pub epb_nj: f64,
+    /// Whether the photonic link budget closed for this point.
+    pub feasible: bool,
+}
+
+impl DsePoint {
+    /// Assembles a point from its grid coordinates and metrics.
+    pub fn new(wavelengths: usize, gateways: usize, mac_scale: f64, m: DseMetrics) -> Self {
+        DsePoint {
+            wavelengths,
+            gateways,
+            mac_scale,
+            latency_ms: m.latency_ms,
+            power_w: m.power_w,
+            epb_nj: m.epb_nj,
+            feasible: m.feasible,
+        }
+    }
+
+    /// The metrics portion of this point.
+    pub fn metrics(&self) -> DseMetrics {
+        DseMetrics {
+            latency_ms: self.latency_ms,
+            power_w: self.power_w,
+            epb_nj: self.epb_nj,
+            feasible: self.feasible,
+        }
+    }
+
+    /// Bit-exact equality of coordinates and metrics.
+    pub fn bit_eq(&self, other: &DsePoint) -> bool {
+        self.wavelengths == other.wavelengths
+            && self.gateways == other.gateways
+            && self.mac_scale.to_bits() == other.mac_scale.to_bits()
+            && self.metrics().bit_eq(&other.metrics())
+    }
+}
+
+/// The swept axes: the cartesian grid of wavelength counts,
+/// gateways-per-chiplet values, and MAC scale factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseAxes {
+    /// Wavelength counts to try.
+    pub wavelengths: Vec<usize>,
+    /// Gateways-per-chiplet values to try.
+    pub gateways: Vec<usize>,
+    /// MAC-count scale factors to try (1.0 = Table 1).
+    pub mac_scales: Vec<f64>,
+}
+
+impl DseAxes {
+    /// Wavelength axis of the paper-conclusion sweep (§VII).
+    pub const PAPER_WAVELENGTHS: &'static [usize] = &[16, 32, 64];
+    /// Gateway axis of the paper-conclusion sweep.
+    pub const PAPER_GATEWAYS: &'static [usize] = &[1, 2, 4];
+    /// MAC-scale axis of the paper-conclusion sweep.
+    pub const PAPER_MAC_SCALES: &'static [f64] = &[0.5, 1.0];
+
+    /// Wavelength axis of the `design_space` example grid.
+    pub const EXAMPLE_WAVELENGTHS: &'static [usize] = &[16, 32, 48, 64];
+    /// Gateway axis of the `design_space` example grid.
+    pub const EXAMPLE_GATEWAYS: &'static [usize] = &[1, 2, 4, 8];
+
+    /// Wavelength axis of the A1 ablation bench.
+    pub const ABLATION_WAVELENGTHS: &'static [usize] = &[8, 16, 32, 48, 64];
+    /// Gateway axis of the A2 ablation bench.
+    pub const ABLATION_GATEWAYS: &'static [usize] = &[1, 2, 4, 6, 8];
+
+    /// Builds axes from borrowed slices (the `const`-friendly form — the
+    /// named grids below are all defined over `&'static [..]` tables).
+    pub fn from_slices(wavelengths: &[usize], gateways: &[usize], mac_scales: &[f64]) -> Self {
+        DseAxes {
+            wavelengths: wavelengths.to_vec(),
+            gateways: gateways.to_vec(),
+            mac_scales: mac_scales.to_vec(),
+        }
+    }
+
+    /// The sweep named by the paper's conclusion, shared by the
+    /// `design_space` example tests and ablation benches.
+    pub fn paper_conclusion() -> Self {
+        Self::from_slices(
+            Self::PAPER_WAVELENGTHS,
+            Self::PAPER_GATEWAYS,
+            Self::PAPER_MAC_SCALES,
+        )
+    }
+
+    /// The `design_space` example grid: 4 wavelength counts × 4 gateway
+    /// counts at Table 1 MAC counts.
+    pub fn example_grid() -> Self {
+        Self::from_slices(Self::EXAMPLE_WAVELENGTHS, Self::EXAMPLE_GATEWAYS, &[1.0])
+    }
+
+    /// The A1 wavelength-ablation grid (gateways fixed at Table 1's 4).
+    pub fn wavelength_ablation() -> Self {
+        Self::from_slices(Self::ABLATION_WAVELENGTHS, &[4], &[1.0])
+    }
+
+    /// The A2 gateway-ablation grid (wavelengths fixed at Table 1's 64).
+    pub fn gateway_ablation() -> Self {
+        Self::from_slices(&[64], Self::ABLATION_GATEWAYS, &[1.0])
+    }
+
+    /// Number of grid points (the cartesian product of the axes).
+    pub fn len(&self) -> usize {
+        self.wavelengths.len() * self.gateways.len() * self.mac_scales.len()
+    }
+
+    /// Whether the grid is empty (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the grid in sweep order: wavelengths outermost, then
+    /// gateways, then MAC scales — the order every sweep reports in.
+    pub fn points(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.wavelengths.iter().flat_map(move |&w| {
+            self.gateways
+                .iter()
+                .flat_map(move |&g| self.mac_scales.iter().map(move |&s| (w, g, s)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_conclusion_matches_consts() {
+        let a = DseAxes::paper_conclusion();
+        assert_eq!(a.wavelengths, DseAxes::PAPER_WAVELENGTHS);
+        assert_eq!(a.gateways, DseAxes::PAPER_GATEWAYS);
+        assert_eq!(a.mac_scales, DseAxes::PAPER_MAC_SCALES);
+        assert_eq!(a.len(), 18);
+    }
+
+    #[test]
+    fn points_iterate_in_sweep_order() {
+        let a = DseAxes::from_slices(&[16, 64], &[1, 4], &[1.0]);
+        let pts: Vec<(usize, usize, f64)> = a.points().collect();
+        assert_eq!(
+            pts,
+            vec![(16, 1, 1.0), (16, 4, 1.0), (64, 1, 1.0), (64, 4, 1.0)]
+        );
+        assert_eq!(pts.len(), a.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn infeasible_metrics_are_nan_but_bit_stable() {
+        let m = DseMetrics::infeasible();
+        assert!(m.latency_ms.is_nan() && !m.feasible);
+        assert!(m.bit_eq(&DseMetrics::infeasible()));
+    }
+
+    #[test]
+    fn point_roundtrips_metrics() {
+        let m = DseMetrics {
+            latency_ms: 1.25,
+            power_w: 30.0,
+            epb_nj: 0.5,
+            feasible: true,
+        };
+        let p = DsePoint::new(64, 4, 1.0, m);
+        assert_eq!(p.metrics(), m);
+        assert!(p.bit_eq(&DsePoint::new(64, 4, 1.0, m)));
+        assert!(!p.bit_eq(&DsePoint::new(32, 4, 1.0, m)));
+    }
+}

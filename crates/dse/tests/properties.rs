@@ -1,0 +1,178 @@
+//! Property-based tests for the exploration engine's invariants:
+//! parallel/sequential equivalence, bit-exact cache round-trips, and
+//! order-invariant Pareto fronts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lumos_dse::{
+    parallel_map, pareto_front, refine_axes, DseAxes, DseMetrics, DsePoint, MemoCache, SweepJob,
+};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lumos-dse-props-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn metrics_from_seed(seed: u64) -> DseMetrics {
+    // Deterministic but arbitrary-looking metrics, including an
+    // infeasible (NaN) case so NaN bit patterns go through the cache.
+    if seed.is_multiple_of(7) {
+        DseMetrics::infeasible()
+    } else {
+        DseMetrics {
+            latency_ms: (seed % 1000) as f64 * 0.25 + 0.5,
+            power_w: (seed % 97) as f64 + 1.0,
+            epb_nj: f64::from_bits(0x3fe0_0000_0000_0000 | (seed & 0xffff)),
+            feasible: true,
+        }
+    }
+}
+
+proptest! {
+    /// (a) A parallel map equals the sequential baseline point-for-point
+    /// for any thread count.
+    #[test]
+    fn parallel_equals_sequential(
+        inputs in proptest::collection::vec(0u64..1_000_000, 0..80),
+        threads in 1usize..9,
+    ) {
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let sequential: Vec<u64> = inputs.iter().map(f).collect();
+        let parallel = parallel_map(&inputs, threads, f);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// (b) Cache hits return bit-identical metrics — through the
+    /// in-process map and through a disk round-trip, NaNs included.
+    #[test]
+    fn cache_roundtrip_bit_identical(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let dir = temp_dir("roundtrip");
+        {
+            let mut cache = MemoCache::persistent(&dir).unwrap();
+            for &s in &seeds {
+                cache.insert(s, metrics_from_seed(s));
+                let back = cache.get(s).expect("just inserted");
+                prop_assert!(back.bit_eq(&metrics_from_seed(s)));
+            }
+        }
+        let mut reopened = MemoCache::persistent(&dir).unwrap();
+        for &s in &seeds {
+            let back = reopened.get(s).expect("persisted");
+            prop_assert!(back.bit_eq(&metrics_from_seed(s)), "seed {} lost bits", s);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A memoized sweep returns exactly what the direct evaluation
+    /// returns, in the same order, and a repeat is all hits.
+    #[test]
+    fn memoized_sweep_matches_direct(
+        seeds in proptest::collection::vec(0u64..64, 1..60),
+        threads in 1usize..5,
+    ) {
+        let job = SweepJob::new(seeds.clone()).threads(threads);
+        let direct: Vec<DseMetrics> = seeds.iter().map(|&s| metrics_from_seed(s)).collect();
+        let mut cache = MemoCache::in_memory();
+        let (first, stats) = job.run_memoized(&mut cache, |&s| s, |&s| metrics_from_seed(s));
+        prop_assert_eq!(stats.points, seeds.len());
+        for (a, b) in first.iter().zip(&direct) {
+            prop_assert!(a.bit_eq(b));
+        }
+        let (second, stats) = job.run_memoized(
+            &mut cache,
+            |&s| s,
+            |_| panic!("fully cached sweep must not evaluate"),
+        );
+        prop_assert!(stats.all_hits());
+        for (a, b) in second.iter().zip(&first) {
+            prop_assert!(a.bit_eq(b));
+        }
+    }
+
+    /// (c) The Pareto front is invariant to input ordering.
+    #[test]
+    fn pareto_front_order_invariant(
+        coords in proptest::collection::vec((1u64..40, 1u64..40, proptest::bool::ANY), 1..60),
+        rotation in 0usize..60,
+    ) {
+        let points: Vec<DsePoint> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, pow, feasible))| DsePoint::new(
+                i + 1,
+                1,
+                1.0,
+                if feasible {
+                    DseMetrics {
+                        latency_ms: lat as f64,
+                        power_w: pow as f64,
+                        epb_nj: 1.0,
+                        feasible: true,
+                    }
+                } else {
+                    DseMetrics::infeasible()
+                },
+            ))
+            .collect();
+        let front = pareto_front(&points);
+
+        let mut rotated = points.clone();
+        rotated.rotate_left(rotation % points.len());
+        prop_assert_eq!(&pareto_front(&rotated), &front);
+
+        let mut reversed = points.clone();
+        reversed.reverse();
+        prop_assert_eq!(&pareto_front(&reversed), &front);
+
+        // Front members are feasible and mutually non-dominated.
+        for p in &front {
+            prop_assert!(p.feasible);
+            for q in &points {
+                if q.feasible {
+                    prop_assert!(!(q.latency_ms < p.latency_ms && q.power_w < p.power_w));
+                }
+            }
+        }
+    }
+
+    /// Axis refinement stays inside the original grid's hull and always
+    /// keeps the frontier's own coordinates available.
+    #[test]
+    fn refinement_bounded_and_retains_frontier(
+        lo in 1usize..32,
+        span in 1usize..64,
+        pick in 0usize..3,
+    ) {
+        let grid = vec![lo, lo + span, lo + 2 * span];
+        let axes = DseAxes {
+            wavelengths: grid.clone(),
+            gateways: vec![1, 2, 4],
+            mac_scales: vec![0.5, 1.0],
+        };
+        let chosen = grid[pick];
+        let front = vec![DsePoint::new(chosen, 2, 1.0, DseMetrics {
+            latency_ms: 1.0,
+            power_w: 1.0,
+            epb_nj: 1.0,
+            feasible: true,
+        })];
+        let refined = refine_axes(&axes, &front);
+        prop_assert!(refined.wavelengths.contains(&chosen));
+        prop_assert!(refined.gateways.contains(&2));
+        prop_assert!(refined.mac_scales.contains(&1.0));
+        for &w in &refined.wavelengths {
+            prop_assert!(w >= grid[0] && w <= grid[2], "w={} escaped the hull", w);
+        }
+        prop_assert!(!refined.is_empty());
+    }
+}

@@ -1,46 +1,77 @@
 //! Fig. 7 as a terminal chart: per-model normalized latency/power/EPB
 //! across the three platforms, with ASCII bars.
 //!
+//! The 5 models × 3 platforms grid evaluates through the `lumos_dse`
+//! engine — in parallel, memoized, and persisted under
+//! `target/dse-cache` — and prints cache-hit counts and wall-clock so
+//! the engine's speedup is visible from `cargo run`.
+//!
 //! ```text
 //! cargo run --example model_sweep
 //! ```
 
+use std::time::Instant;
+
+use lumos::core::{dse, Platform, PlatformConfig};
+use lumos::dse::{DseMetrics, MemoCache, SweepJob};
 use lumos::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let runner = Runner::new(PlatformConfig::paper_table1());
+    let cfg = PlatformConfig::paper_table1();
     let models = zoo::table2_models();
 
-    let mut rows = Vec::new();
-    for model in &models {
-        let mono = runner.run(&Platform::Monolithic, model)?;
-        let elec = runner.run(&Platform::Elec2p5D, model)?;
-        let siph = runner.run(&Platform::Siph2p5D, model)?;
-        rows.push((model.name().to_owned(), mono, elec, siph));
+    let cells: Vec<(Platform, &lumos::dnn::Model)> = models
+        .iter()
+        .flat_map(|m| Platform::all().into_iter().map(move |p| (p, m)))
+        .collect();
+
+    let mut cache = MemoCache::persistent_default().unwrap_or_else(|_| MemoCache::in_memory());
+    let t0 = Instant::now();
+    let job = SweepJob::new(cells);
+    let (metrics, stats) = job.run_memoized(
+        &mut cache,
+        |(platform, model)| dse::point_key(&cfg, platform, model),
+        |(platform, model)| dse::evaluate(&cfg, platform, model),
+    );
+    println!(
+        "evaluated {} model×platform cells in {:.2} ms, cache hits: {}/{} ({} simulated on {} threads)\n",
+        stats.points,
+        t0.elapsed().as_secs_f64() * 1e3,
+        stats.hits,
+        stats.points,
+        stats.evaluated,
+        stats.threads,
+    );
+    // The Table 1 grid is feasible by construction — surface any failed
+    // cell instead of charting NaN bars.
+    for (m, (platform, model)) in metrics.iter().zip(job.points()) {
+        if !m.feasible {
+            return Err(format!("{} on {platform} failed to simulate", model.name()).into());
+        }
     }
 
-    section("normalized total latency (mono = 1.0)", &rows, |r| {
-        r.latency_ms()
+    // Regroup: cells are model-major, Platform::all() order within.
+    let rows: Vec<(&str, &[DseMetrics])> = models
+        .iter()
+        .zip(metrics.chunks(Platform::all().len()))
+        .map(|(m, chunk)| (m.name(), chunk))
+        .collect();
+
+    section("normalized total latency (mono = 1.0)", &rows, |m| {
+        m.latency_ms
     });
-    section("normalized power (mono = 1.0)", &rows, |r| r.avg_power_w());
-    section("normalized energy-per-bit (mono = 1.0)", &rows, |r| {
-        r.epb_nj()
+    section("normalized power (mono = 1.0)", &rows, |m| m.power_w);
+    section("normalized energy-per-bit (mono = 1.0)", &rows, |m| {
+        m.epb_nj
     });
+    cache.flush()?;
     Ok(())
 }
 
-fn section(
-    title: &str,
-    rows: &[(
-        String,
-        lumos::core::RunReport,
-        lumos::core::RunReport,
-        lumos::core::RunReport,
-    )],
-    metric: impl Fn(&lumos::core::RunReport) -> f64,
-) {
+fn section(title: &str, rows: &[(&str, &[DseMetrics])], metric: impl Fn(&DseMetrics) -> f64) {
     println!("== {title} ==");
-    for (name, mono, elec, siph) in rows {
+    for (name, cells) in rows {
+        let (mono, elec, siph) = (&cells[0], &cells[1], &cells[2]);
         let base = metric(mono);
         println!("{name:>14}:");
         bar("mono", 1.0);

@@ -14,6 +14,7 @@
 //! * [`phnet`] — reconfigurable photonic interposer (ReSiPI-style)
 //! * [`hbm`] — optically-interfaced memory chiplet
 //! * [`core`] — photonic MAC units, platforms, mapper, and runner
+//! * [`dse`] — parallel, memoized design-space exploration engine
 //!
 //! # Examples
 //!
@@ -30,6 +31,9 @@
 #![forbid(unsafe_code)]
 
 pub use lumos_core as core;
+/// Design-space exploration: the `lumos_dse` engine plus the platform
+/// glue from `lumos_core::dse` (fingerprints, sweeps, exploration).
+pub use lumos_core::dse;
 pub use lumos_dnn as dnn;
 pub use lumos_hbm as hbm;
 pub use lumos_noc as noc;
@@ -43,5 +47,6 @@ pub mod prelude {
         calibration::Calibration, config::PlatformConfig, platform::Platform, runner::Runner,
     };
     pub use lumos_dnn::zoo;
+    pub use lumos_dse::{DseAxes, MemoCache, SweepJob};
     pub use lumos_sim::SimTime;
 }
