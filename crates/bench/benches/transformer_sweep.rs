@@ -1,0 +1,83 @@
+//! Transformer scenario sweep: the zoo-expansion counterpart of the
+//! Table 3 harness. Prints the latency/power/EPB trade of the
+//! transformer zoo across sequence lengths and batch sizes on the
+//! photonic platform — through the memoized `lumos_dse` engine — then
+//! benchmarks representative scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::bench_threads;
+use lumos_core::dse::{MemoCache, XformerAxes};
+use lumos_core::{Platform, PlatformConfig};
+use lumos_xformer::{dse as xdse, zoo as xzoo};
+
+fn sweep() {
+    println!("\n=== transformer scenario sweep (2.5D-SiPh) ===");
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>10} {:>12}",
+        "model", "seq", "batch", "lat (ms)", "P (W)", "EPB (nJ/b)"
+    );
+    let cfg = PlatformConfig::paper_table1();
+    let axes = XformerAxes::bench_grid();
+    let mut cache = MemoCache::in_memory();
+    for model in xzoo::transformer_zoo() {
+        let (points, _) = xdse::sweep_scenarios(
+            &cfg,
+            &Platform::Siph2p5D,
+            &model,
+            &axes,
+            bench_threads(),
+            &mut cache,
+        );
+        for p in points {
+            if p.feasible {
+                println!(
+                    "{:<12} {:>6} {:>6} {:>12.3} {:>10.1} {:>12.3}",
+                    model.name, p.effective_seq, p.batch, p.latency_ms, p.power_w, p.epb_nj
+                );
+            } else {
+                println!(
+                    "{:<12} {:>6} {:>6} infeasible",
+                    model.name, p.effective_seq, p.batch
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let cfg = PlatformConfig::paper_table1();
+    let mut group = c.benchmark_group("transformer_sweep");
+    group.sample_size(10);
+    for (seq, batch) in [(128u32, 1u32), (512, 8)] {
+        let bert = xzoo::bert_base();
+        group.bench_with_input(
+            BenchmarkId::new("bert_base", format!("seq{seq}_b{batch}")),
+            &(seq, batch),
+            |b, &(seq, batch)| {
+                b.iter(|| {
+                    xdse::run(&cfg, &Platform::Siph2p5D, &bert, seq, batch).expect("feasible")
+                })
+            },
+        );
+    }
+    // The memoized engine on a warm cache: the whole bench grid served
+    // from the memo should cost microseconds, not simulations.
+    let mut cache = MemoCache::in_memory();
+    let axes = XformerAxes::bench_grid();
+    let vit = xzoo::vit_b16();
+    let _ = xdse::sweep_scenarios(&cfg, &Platform::Siph2p5D, &vit, &axes, 0, &mut cache);
+    group.bench_function("vit_b16/warm_cache_grid", |b| {
+        b.iter(|| {
+            let (points, stats) =
+                xdse::sweep_scenarios(&cfg, &Platform::Siph2p5D, &vit, &axes, 1, &mut cache);
+            assert!(stats.all_hits());
+            points
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

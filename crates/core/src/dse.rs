@@ -22,16 +22,19 @@ use lumos_photonics::modulator::ModulationFormat;
 
 pub use lumos_dse::{
     available_threads, parallel_map, pareto_front, pareto_front_by, refine_axes, DseAxes,
-    DseMetrics, DsePoint, MemoCache, StableHasher, SweepJob, SweepStats,
+    DseMetrics, DsePoint, MemoCache, StableHasher, SweepJob, SweepStats, XformerAxes,
 };
 
 use crate::config::{MacClassConfig, PlatformConfig};
 use crate::platform::Platform;
 use crate::runner::Runner;
 
-/// Fingerprint-schema version: bump when the hashed field set changes so
+/// Fingerprint-schema version: bump when the hashed field set changes —
+/// or when simulator semantics change within a crate version — so
 /// persisted caches from older layouts are invalidated wholesale.
-const KEY_SCHEMA: u64 = 1;
+/// (v2: explicit softmax workloads + heterogeneous batched-GEMM
+/// placement changed every metric.)
+const KEY_SCHEMA: u64 = 2;
 
 /// Seeds a hasher with the schema version and the crate version, so a
 /// release that changes simulator behavior invalidates persisted caches.
@@ -131,6 +134,59 @@ pub fn model_fingerprint(model: &Model) -> u64 {
         node.inputs.hash(&mut h);
     }
     h.finish()
+}
+
+/// Stable fingerprint of a pre-extracted workload sequence — the
+/// transformer path and custom schedules, where no `Model` graph
+/// exists. Hashes every field the runner consumes.
+pub fn workloads_fingerprint(workloads: &[lumos_dnn::LayerWorkload]) -> u64 {
+    let mut h = StableHasher::new();
+    schema_seed(&mut h);
+    // Domain tag: keep workload-sequence keys disjoint from the graph
+    // fingerprints of `model_fingerprint`.
+    h.write_u64(u64::from_be_bytes(*b"WORKLOAD"));
+    h.write_usize(workloads.len());
+    for w in workloads {
+        h.write_str(&w.name);
+        w.class.hash(&mut h);
+        h.write_u64(w.dot_products);
+        h.write_u64(w.dot_length);
+        h.write_u64(w.window);
+        h.write_u64(w.macs);
+        h.write_u64(w.weight_bits);
+        h.write_u64(w.input_bits);
+        h.write_u64(w.output_bits);
+    }
+    h.finish()
+}
+
+/// The memoization key of one `(configuration, platform, workload
+/// sequence)` point, from a pre-computed [`workloads_fingerprint`].
+pub fn workloads_key(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    workloads_fp: u64,
+    salt: u64,
+) -> u64 {
+    combine_key(config_fingerprint(cfg), platform, workloads_fp, salt)
+}
+
+/// [`evaluate`] for a pre-extracted workload sequence.
+pub fn evaluate_workloads(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    name: &str,
+    workloads: &[lumos_dnn::LayerWorkload],
+) -> DseMetrics {
+    match Runner::new(cfg.clone()).run_workloads(platform, name, workloads) {
+        Ok(r) => DseMetrics {
+            latency_ms: r.latency_ms(),
+            power_w: r.avg_power_w(),
+            epb_nj: r.epb_nj(),
+            feasible: true,
+        },
+        Err(_) => DseMetrics::infeasible(),
+    }
 }
 
 /// The memoization key of one `(configuration, platform, model)` point.

@@ -6,26 +6,62 @@
 //! convolutions to the units matching their window. Larger-than-7×7
 //! kernels are decomposed into multiple passes by the chunking rule of
 //! [`LayerWorkload::passes_on`].
+//!
+//! Batched GEMMs (transformer attention/MLP blocks,
+//! [`KernelClass::Gemm`]) have no class affinity: any vector unit can
+//! chunk a long reduction. The mapper therefore spreads a GEMM's dot
+//! products across **every** MAC class in proportion to each class's
+//! dot-product throughput at that reduction length, so the whole
+//! platform — not just the two dense chiplets — works the workload and
+//! its activation-heavy streams fan out over the full interposer.
+//! Softmax and layer-norm passes ride on the dense chiplets, whose
+//! digital periphery hosts the row reductions.
 
 use lumos_dnn::workload::{KernelClass, LayerWorkload};
 
 use crate::config::{MacClass, PlatformConfig};
 use crate::error::CoreError;
 
-/// Where one layer executes.
+/// One class's share of a placement: which chiplets, how many units,
+/// and how many MAC passes they execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Placement {
-    /// MAC class chosen.
+pub struct PlacementShare {
+    /// MAC class of this share.
     pub class: MacClass,
     /// Chiplets participating (all chiplets of the class).
     pub chiplets: Vec<usize>,
     /// Total units across those chiplets.
     pub units: usize,
-    /// MAC passes the layer needs on this class's lane width.
+    /// Dot products assigned to this class.
+    pub dots: u64,
+    /// MAC passes those dots need at this class's lane width.
     pub passes: u64,
 }
 
-/// Chooses the MAC class for a workload.
+/// Where one layer executes.
+///
+/// CNN layers occupy a single share (their Table 1 affinity class);
+/// batched GEMMs are split across every class, one share each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Primary MAC class (the share executing the most dot products) —
+    /// what per-layer reports display.
+    pub class: MacClass,
+    /// Chiplets participating, across all shares.
+    pub chiplets: Vec<usize>,
+    /// Total units across those chiplets.
+    pub units: usize,
+    /// Total MAC passes across all shares.
+    pub passes: u64,
+    /// The per-class split.
+    pub shares: Vec<PlacementShare>,
+}
+
+/// Chooses the affinity MAC class for a workload.
+///
+/// Batched GEMMs and the elementwise softmax/norm passes report
+/// [`MacClass::Dense100`] (long-vector reductions); [`place`] spreads
+/// GEMMs across all classes regardless.
 ///
 /// # Errors
 ///
@@ -33,7 +69,8 @@ pub struct Placement {
 /// chunk (zero-sized windows — impossible from a valid graph).
 pub fn class_for(workload: &LayerWorkload) -> Result<MacClass, CoreError> {
     let class = match workload.class {
-        KernelClass::Dense => MacClass::Dense100,
+        KernelClass::Dense | KernelClass::Gemm { .. } => MacClass::Dense100,
+        KernelClass::Softmax | KernelClass::Norm => MacClass::Dense100,
         KernelClass::Conv { k } | KernelClass::Depthwise { k } => match k {
             0 => {
                 return Err(CoreError::UnmappableLayer {
@@ -49,8 +86,77 @@ pub fn class_for(workload: &LayerWorkload) -> Result<MacClass, CoreError> {
     Ok(class)
 }
 
-/// Maps a workload onto the platform: picks the class, gathers its
-/// chiplets, and counts passes at the class's lane width.
+/// MAC passes one dot product of `workload` needs on `class`: chunks of
+/// `window` scheduled `ceil(window / lanes)` passes each. Degenerate
+/// zero-length reductions cost one pass, so per-class rates stay
+/// finite.
+fn passes_per_dot(workload: &LayerWorkload, class: MacClass) -> u64 {
+    let chunks = workload.dot_length.max(1).div_ceil(workload.window.max(1));
+    chunks * workload.window.max(1).div_ceil(class.lanes() as u64)
+}
+
+/// Splits a batched GEMM's dot products across every MAC class in
+/// proportion to each class's dot throughput (units per pass-per-dot)
+/// at the GEMM's reduction length, so all shares finish together.
+/// Rounding leftovers go to the highest-throughput classes; classes
+/// rounding to zero dots are dropped from the placement.
+fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementShare> {
+    let dots = workload.dot_products;
+    let all = MacClass::all();
+    if dots == 0 {
+        // A degenerate GEMM still needs a non-empty placement (the
+        // runner shards weight streams over the placement's chiplets).
+        return vec![PlacementShare {
+            class: MacClass::Dense100,
+            chiplets: cfg.chiplet_ids_of(MacClass::Dense100),
+            units: cfg.class(MacClass::Dense100).total_units(),
+            dots: 0,
+            passes: 0,
+        }];
+    }
+    let rates: Vec<f64> = all
+        .iter()
+        .map(|&c| cfg.class(c).total_units() as f64 / passes_per_dot(workload, c) as f64)
+        .collect();
+    let total_rate: f64 = rates.iter().sum();
+
+    // Floor the proportional quotas, then deal the remainder out in
+    // descending fractional-part order (ties broken by class order) so
+    // the split is deterministic and sums exactly to `dots`.
+    let quotas: Vec<f64> = rates.iter().map(|r| dots as f64 * r / total_rate).collect();
+    let mut assigned: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let mut remainder = dots - assigned.iter().sum::<u64>();
+    let mut order: Vec<usize> = (0..all.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut next = 0usize;
+    while remainder > 0 {
+        assigned[order[next % order.len()]] += 1;
+        remainder -= 1;
+        next += 1;
+    }
+
+    all.iter()
+        .zip(assigned)
+        .filter(|&(_, dots)| dots > 0)
+        .map(|(&class, dots)| PlacementShare {
+            class,
+            chiplets: cfg.chiplet_ids_of(class),
+            units: cfg.class(class).total_units(),
+            dots,
+            passes: dots * passes_per_dot(workload, class),
+        })
+        .collect()
+}
+
+/// Maps a workload onto the platform.
+///
+/// CNN kernels get their affinity class's chiplets and pass count at
+/// that class's lane width; batched GEMMs are split across every class
+/// (see [the module docs](self)).
 ///
 /// # Errors
 ///
@@ -71,15 +177,30 @@ pub fn class_for(workload: &LayerWorkload) -> Result<MacClass, CoreError> {
 /// # Ok::<(), lumos_core::error::CoreError>(())
 /// ```
 pub fn place(cfg: &PlatformConfig, workload: &LayerWorkload) -> Result<Placement, CoreError> {
-    let class = class_for(workload)?;
-    let chiplets = cfg.chiplet_ids_of(class);
-    let units = cfg.class(class).total_units();
-    let passes = workload.passes_on(class.lanes() as u64);
+    let affinity = class_for(workload)?;
+    let shares = if matches!(workload.class, KernelClass::Gemm { .. }) {
+        gemm_shares(cfg, workload)
+    } else {
+        let dots = workload.dot_products;
+        vec![PlacementShare {
+            class: affinity,
+            chiplets: cfg.chiplet_ids_of(affinity),
+            units: cfg.class(affinity).total_units(),
+            dots,
+            passes: workload.passes_on(affinity.lanes() as u64),
+        }]
+    };
+    let primary = shares
+        .iter()
+        .max_by_key(|s| (s.dots, std::cmp::Reverse(s.class)))
+        .map(|s| s.class)
+        .unwrap_or(affinity);
     Ok(Placement {
-        class,
-        chiplets,
-        units,
-        passes,
+        class: primary,
+        chiplets: shares.iter().flat_map(|s| s.chiplets.clone()).collect(),
+        units: shares.iter().map(|s| s.units).sum(),
+        passes: shares.iter().map(|s| s.passes).sum(),
+        shares,
     })
 }
 
@@ -93,6 +214,21 @@ mod tests {
         extract_workloads(&model, Precision::int8())
     }
 
+    fn gemm_workload(m: u32, n: u32, k: u32, batch: u32) -> LayerWorkload {
+        let dots = batch as u64 * m as u64 * n as u64;
+        LayerWorkload {
+            name: format!("gemm{m}x{n}x{k}b{batch}"),
+            class: KernelClass::Gemm { m, n, k, batch },
+            dot_products: dots,
+            dot_length: k as u64,
+            window: k as u64,
+            macs: dots * k as u64,
+            weight_bits: 0,
+            input_bits: 0,
+            output_bits: 0,
+        }
+    }
+
     #[test]
     fn vgg_convs_go_to_conv3() {
         let cfg = PlatformConfig::paper_table1();
@@ -101,6 +237,7 @@ mod tests {
             let p = place(&cfg, w).unwrap();
             assert_eq!(p.class, MacClass::Conv3, "{}", w.name);
             assert_eq!(p.units, 132);
+            assert_eq!(p.shares.len(), 1);
         }
     }
 
@@ -112,8 +249,19 @@ mod tests {
         assert_eq!(stem.class, MacClass::Conv7); // 7×7 stem
         let pointwise = work.iter().find(|w| w.name == "conv2_1_1_conv").unwrap();
         assert_eq!(place(&cfg, pointwise).unwrap().class, MacClass::Dense100);
-        let fc = work.last().unwrap();
+        let fc = work.iter().find(|w| w.name == "predictions").unwrap();
         assert_eq!(place(&cfg, fc).unwrap().class, MacClass::Dense100);
+    }
+
+    #[test]
+    fn softmax_rides_the_dense_chiplets() {
+        let cfg = PlatformConfig::paper_table1();
+        let work = workloads_of(zoo::resnet50());
+        let sm = work.last().unwrap();
+        assert_eq!(sm.class, KernelClass::Softmax);
+        let p = place(&cfg, sm).unwrap();
+        assert_eq!(p.class, MacClass::Dense100);
+        assert_eq!(p.shares.len(), 1);
     }
 
     #[test]
@@ -156,5 +304,79 @@ mod tests {
         assert_eq!(p.class, MacClass::Conv7);
         // Each 121-wide chunk needs ceil(121/49)=3 passes, 3 chunks/dot.
         assert_eq!(p.passes, 100 * 3 * 3);
+    }
+
+    #[test]
+    fn gemm_spreads_over_every_class() {
+        let cfg = PlatformConfig::paper_table1();
+        let w = gemm_workload(512, 768, 768, 4);
+        let p = place(&cfg, &w).unwrap();
+        assert_eq!(p.shares.len(), 4, "large GEMM engages all classes");
+        assert_eq!(p.chiplets.len(), cfg.compute_chiplets());
+        let dots: u64 = p.shares.iter().map(|s| s.dots).sum();
+        assert_eq!(dots, w.dot_products, "dot products conserved");
+        for s in &p.shares {
+            assert_eq!(s.passes, s.dots * passes_per_dot(&w, s.class));
+        }
+    }
+
+    #[test]
+    fn gemm_split_is_throughput_balanced() {
+        let cfg = PlatformConfig::paper_table1();
+        let w = gemm_workload(512, 512, 64, 96); // attention scores shape
+        let p = place(&cfg, &w).unwrap();
+        // Per-share completion time (passes/units) must be within one
+        // pass-per-dot granule of the slowest share.
+        let time = |s: &PlacementShare| s.passes as f64 / s.units as f64;
+        let slowest = p.shares.iter().map(time).fold(0.0, f64::max);
+        for s in &p.shares {
+            let granule = passes_per_dot(&w, s.class) as f64 / s.units as f64;
+            assert!(
+                slowest - time(s) <= granule + 1e-9,
+                "{:?} underloaded: {} vs slowest {}",
+                s.class,
+                time(s),
+                slowest
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_gemm_drops_empty_shares() {
+        let cfg = PlatformConfig::paper_table1();
+        let w = gemm_workload(1, 2, 64, 1); // 2 dot products
+        let p = place(&cfg, &w).unwrap();
+        let dots: u64 = p.shares.iter().map(|s| s.dots).sum();
+        assert_eq!(dots, 2);
+        assert!(p.shares.iter().all(|s| s.dots > 0));
+        assert!(p.shares.len() <= 2);
+    }
+
+    #[test]
+    fn degenerate_gemms_stay_placeable() {
+        let cfg = PlatformConfig::paper_table1();
+        // Zero dot products: still a non-empty placement.
+        let mut w = gemm_workload(1, 1, 64, 1);
+        w.dot_products = 0;
+        w.macs = 0;
+        let p = place(&cfg, &w).unwrap();
+        assert!(!p.chiplets.is_empty());
+        assert_eq!(p.passes, 0);
+        // Zero-length reduction: rates stay finite, dots conserved.
+        let mut w = gemm_workload(4, 4, 1, 1);
+        w.dot_length = 0;
+        w.window = 0;
+        w.macs = 0;
+        let p = place(&cfg, &w).unwrap();
+        assert_eq!(p.shares.iter().map(|s| s.dots).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn gemm_split_deterministic() {
+        let cfg = PlatformConfig::paper_table1();
+        let w = gemm_workload(128, 3072, 768, 8);
+        let a = place(&cfg, &w).unwrap();
+        let b = place(&cfg, &w).unwrap();
+        assert_eq!(a, b);
     }
 }

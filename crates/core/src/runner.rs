@@ -92,7 +92,9 @@ impl Runner {
     }
 
     /// Runs a pre-extracted workload sequence — the entry point for
-    /// heterogeneous quantization and other custom traffic schedules
+    /// heterogeneous quantization, transformer workloads (pair with
+    /// `lumos_xformer::extract_transformer_workloads`), and other
+    /// custom traffic schedules
     /// (pair with [`lumos_dnn::quantization::extract_quantized_workloads`]).
     ///
     /// # Errors
@@ -130,9 +132,20 @@ impl Runner {
 
         for w in workloads {
             let placement = place(&self.cfg, w)?;
-            let units = scale(placement.units);
-            let unit = MacUnit::new(placement.class, calib);
-            let compute_s = unit.compute_seconds(placement.passes, units);
+            // Per-share compute: every class runs its passes in
+            // parallel; the layer's compute span is the slowest share
+            // (the throughput-proportional GEMM split keeps the shares
+            // within one pass of each other). Single-share CNN layers
+            // reduce to the one-class arithmetic exactly.
+            let mut compute_s = 0.0f64;
+            for share in &placement.shares {
+                let unit = MacUnit::new(share.class, calib);
+                let units = scale(share.units);
+                let share_s = unit.compute_seconds(share.passes, units);
+                compute_s = compute_s.max(share_s);
+                mac_active_j += unit.active_energy_j(units, share_s);
+                active_idle_correction_j += unit.idle_power_w() * units as f64 * share_s;
+            }
             let n_shards = placement.chiplets.len() as u64;
             let weight_shard = w.weight_bits.div_ceil(n_shards);
             let output_shard = w.output_bits.div_ceil(n_shards);
@@ -262,8 +275,6 @@ impl Runner {
                 }
             };
 
-            mac_active_j += unit.active_energy_j(units, compute_s);
-            active_idle_correction_j += unit.idle_power_w() * units as f64 * compute_s;
             bits_moved += w.total_bits();
 
             layers.push(LayerReport {
@@ -431,7 +442,7 @@ mod tests {
         let r = runner();
         for p in Platform::all() {
             let report = r.run(&p, &zoo::lenet5()).expect("lenet runs");
-            assert_eq!(report.layers.len(), 5);
+            assert_eq!(report.layers.len(), 6); // 5 weighted + softmax
             assert!(report.total_latency > SimTime::ZERO, "{p}");
             assert!(report.energy.total_j() > 0.0, "{p}");
             assert!(report.bits_moved > 0, "{p}");
@@ -579,6 +590,38 @@ mod tests {
             with.latency_ms(),
             without.latency_ms()
         );
+    }
+
+    #[test]
+    fn batched_gemm_schedule_runs_on_all_platforms() {
+        use lumos_dnn::workload::{KernelClass, LayerWorkload};
+        let make = |name: &str, m: u32, n: u32, k: u32, batch: u32| {
+            let dots = batch as u64 * m as u64 * n as u64;
+            LayerWorkload {
+                name: name.into(),
+                class: KernelClass::Gemm { m, n, k, batch },
+                dot_products: dots,
+                dot_length: k as u64,
+                window: k as u64,
+                macs: dots * k as u64,
+                weight_bits: (n as u64 * k as u64) * 8,
+                input_bits: (batch as u64 * m as u64 * k as u64) * 8,
+                output_bits: dots * 8,
+            }
+        };
+        let work = vec![
+            make("qkv", 128, 2304, 768, 2),
+            make("scores", 128, 128, 64, 24),
+            make("ff1", 128, 3072, 768, 2),
+        ];
+        let r = runner();
+        for p in Platform::all() {
+            let report = r.run_workloads(&p, "gemm-smoke", &work).expect("runs");
+            assert_eq!(report.layers.len(), 3);
+            assert!(report.total_latency > SimTime::ZERO, "{p}");
+            assert!(report.energy.total_j() > 0.0, "{p}");
+            assert!(report.avg_power_w().is_finite(), "{p}");
+        }
     }
 
     #[test]

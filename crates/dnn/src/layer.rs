@@ -5,7 +5,9 @@ use std::fmt;
 
 use crate::shape::{conv_out, Padding, TensorShape};
 
-/// Elementwise activation functions (no parameters, negligible MACs).
+/// Elementwise activation functions (no parameters; negligible MACs,
+/// except [`Activation::Softmax`], whose per-element exp/normalize loop
+/// is accounted explicitly — see [`Layer::mac_count`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Rectified linear unit.
@@ -52,6 +54,11 @@ pub enum Layer {
     /// Batch normalization: 4 parameters per channel (γ, β, μ, σ²),
     /// matching Keras "total params" accounting.
     BatchNorm,
+    /// Layer normalization: 2 parameters per channel (γ, β), the
+    /// transformer block's normalizer. Unlike BatchNorm it cannot fold
+    /// into a preceding weighted layer (its statistics are computed at
+    /// inference time), so it emits an explicit elementwise workload.
+    LayerNorm,
     /// Elementwise activation.
     Activation(Activation),
     /// Max pooling.
@@ -170,7 +177,7 @@ impl Layer {
                 );
                 TensorShape::vector(units)
             }
-            Layer::BatchNorm | Layer::Activation(_) | Layer::Add => input,
+            Layer::BatchNorm | Layer::LayerNorm | Layer::Activation(_) | Layer::Add => input,
             Layer::MaxPool {
                 size,
                 stride,
@@ -216,6 +223,7 @@ impl Layer {
                 weights + if use_bias { units as u64 } else { 0 }
             }
             Layer::BatchNorm => 4 * input.c as u64,
+            Layer::LayerNorm => 2 * input.c as u64,
             _ => 0,
         }
     }
@@ -237,6 +245,12 @@ impl Layer {
                 oh * ow * out_c as u64 * kernel as u64 * kernel as u64 * (input.c as u64 / g as u64)
             }
             Layer::Dense { units, .. } => input.c as u64 * units as u64,
+            // Elementwise normalizers pass the whole tensor through the
+            // digital datapath: one MAC-equivalent per element (exp /
+            // rsqrt via LUT, one multiply-accumulate for the
+            // normalization). For a `seq × seq` attention score matrix
+            // this is anything but negligible.
+            Layer::Activation(Activation::Softmax) | Layer::LayerNorm => input.elements(),
             _ => 0,
         }
     }
@@ -278,6 +292,7 @@ impl fmt::Display for Layer {
             }
             Layer::Dense { units, .. } => write!(f, "Dense{units}"),
             Layer::BatchNorm => write!(f, "BatchNorm"),
+            Layer::LayerNorm => write!(f, "LayerNorm"),
             Layer::Activation(a) => write!(f, "{a:?}"),
             Layer::MaxPool { size, stride, .. } => write!(f, "MaxPool{size}/s{stride}"),
             Layer::AvgPool { size, stride, .. } => write!(f, "AvgPool{size}/s{stride}"),
@@ -330,6 +345,24 @@ mod tests {
             Layer::BatchNorm.param_count(TensorShape::chw(64, 1, 1)),
             256
         );
+    }
+
+    #[test]
+    fn layernorm_params_and_shape() {
+        let input = TensorShape::chw(768, 197, 1);
+        assert_eq!(Layer::LayerNorm.param_count(input), 1536);
+        assert_eq!(Layer::LayerNorm.output_shape(input), input);
+        assert!(!Layer::LayerNorm.is_weighted());
+    }
+
+    #[test]
+    fn softmax_and_layernorm_macs_are_per_element() {
+        let scores = TensorShape::chw(512, 512, 1); // seq × seq
+        let softmax = Layer::Activation(Activation::Softmax);
+        assert_eq!(softmax.mac_count(scores), 512 * 512);
+        assert_eq!(Layer::LayerNorm.mac_count(scores), 512 * 512);
+        // Other activations stay negligible.
+        assert_eq!(Layer::Activation(Activation::Relu).mac_count(scores), 0);
     }
 
     #[test]

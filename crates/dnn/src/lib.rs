@@ -9,7 +9,9 @@
 //! * [`graph`] — models as DAGs with inferred shapes
 //! * [`zoo`] — LeNet-5, ResNet-50, DenseNet-121, VGG-16, MobileNetV2,
 //!   each matching its published total parameter count exactly
-//! * [`workload`] — per-layer compute/traffic extraction
+//! * [`workload`] — per-layer compute/traffic extraction, including
+//!   explicit softmax/layer-norm traffic passes and the batched-GEMM
+//!   kernel class transformer blocks lower to (see `lumos_xformer`)
 //! * [`quantization`] — heterogeneous per-layer bit-widths (§III, \[22\])
 //!
 //! # Examples

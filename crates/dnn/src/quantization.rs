@@ -126,6 +126,12 @@ impl QuantizationScheme {
 /// Extracts workloads with per-layer bit-widths from `scheme` applied to
 /// both weights and activations of each layer.
 ///
+/// The scheme assigns one width per *weighted* layer; the elementwise
+/// softmax/norm passes the extraction also emits carry no scheme slot
+/// and ride at the width of the nearest preceding weighted layer
+/// (their streams are that layer's activations). Passes before the
+/// first weighted layer — or in a model with none — default to 8 bits.
+///
 /// # Panics
 ///
 /// Panics if the scheme's length does not match the model's weighted
@@ -141,16 +147,21 @@ pub fn extract_quantized_workloads(
             activation_bits: 1,
         },
     );
+    let weighted = base.iter().filter(|w| !w.class.is_elementwise()).count();
     assert_eq!(
-        base.len(),
+        weighted,
         scheme.layer_bits.len(),
         "scheme covers {} layers, model has {}",
         scheme.layer_bits.len(),
-        base.len()
+        weighted
     );
+    let mut widths = scheme.layer_bits.iter();
+    let mut bits = scheme.layer_bits.first().copied().unwrap_or(8);
     base.into_iter()
-        .zip(&scheme.layer_bits)
-        .map(|(mut w, &bits)| {
+        .map(|mut w| {
+            if !w.class.is_elementwise() {
+                bits = *widths.next().expect("length checked above");
+            }
             w.weight_bits *= bits as u64;
             w.input_bits *= bits as u64;
             w.output_bits *= bits as u64;
@@ -241,6 +252,22 @@ mod tests {
             ),
         );
         assert!(totals(&mixed).total_bits < totals(&uniform).total_bits);
+    }
+
+    #[test]
+    fn elementwise_only_model_defaults_to_8_bits() {
+        use crate::layer::Layer;
+        use crate::shape::TensorShape;
+        let mut m = Model::new("norm_only", TensorShape::chw(64, 8, 1));
+        m.push("ln", Layer::LayerNorm).unwrap();
+        let q = extract_quantized_workloads(
+            &m,
+            &QuantizationScheme {
+                layer_bits: Vec::new(),
+            },
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].input_bits, 64 * 8 * 8);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`hash`] — the unkeyed [`StableHasher`] those fingerprints are
 //!   built with;
 //! * [`point`] — the shared sweep vocabulary ([`DseAxes`] grids,
-//!   [`DsePoint`], [`DseMetrics`]);
+//!   [`DsePoint`], [`DseMetrics`], and the [`XformerAxes`]
+//!   transformer-scenario grids);
 //! * [`pareto`] — frontier extraction and successive-halving axis
 //!   refinement around the frontier.
 //!
@@ -59,4 +60,4 @@ pub use cache::{MemoCache, CACHE_DIR_ENV, DEFAULT_CACHE_DIR};
 pub use hash::StableHasher;
 pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
-pub use point::{DseAxes, DseMetrics, DsePoint};
+pub use point::{DseAxes, DseMetrics, DsePoint, XformerAxes};

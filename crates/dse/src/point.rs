@@ -182,6 +182,71 @@ impl DseAxes {
     }
 }
 
+/// The transformer scenario grid: the cartesian product of sequence
+/// lengths and batch sizes a transformer model is evaluated at.
+///
+/// The configuration axes ([`DseAxes`]) describe the *platform*; these
+/// axes describe the *workload* — the two knobs that move a transformer
+/// between compute-bound (short sequences, weight-dominated
+/// projections) and bandwidth-bound (long sequences, `seq²` attention
+/// traffic) regimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XformerAxes {
+    /// Sequence lengths (tokens) to try.
+    pub seq_lens: Vec<u32>,
+    /// Batch sizes to try.
+    pub batches: Vec<u32>,
+}
+
+impl XformerAxes {
+    /// Sequence-length axis of the `transformers` example grid.
+    pub const EXAMPLE_SEQ_LENS: &'static [u32] = &[128, 512];
+    /// Batch axis of the `transformers` example grid.
+    pub const EXAMPLE_BATCHES: &'static [u32] = &[1, 8];
+
+    /// Sequence-length axis of the `transformer_sweep` bench grid.
+    pub const SWEEP_SEQ_LENS: &'static [u32] = &[64, 128, 256, 512];
+    /// Batch axis of the `transformer_sweep` bench grid.
+    pub const SWEEP_BATCHES: &'static [u32] = &[1, 8];
+
+    /// Builds axes from borrowed slices (the `const`-friendly form).
+    pub fn from_slices(seq_lens: &[u32], batches: &[u32]) -> Self {
+        XformerAxes {
+            seq_lens: seq_lens.to_vec(),
+            batches: batches.to_vec(),
+        }
+    }
+
+    /// The `transformers` example grid: 2 sequence lengths × 2 batches.
+    pub fn example_grid() -> Self {
+        Self::from_slices(Self::EXAMPLE_SEQ_LENS, Self::EXAMPLE_BATCHES)
+    }
+
+    /// The `transformer_sweep` bench grid: 4 sequence lengths × 2
+    /// batches.
+    pub fn bench_grid() -> Self {
+        Self::from_slices(Self::SWEEP_SEQ_LENS, Self::SWEEP_BATCHES)
+    }
+
+    /// Number of scenarios (the cartesian product of the axes).
+    pub fn len(&self) -> usize {
+        self.seq_lens.len() * self.batches.len()
+    }
+
+    /// Whether the grid is empty (either axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the grid in sweep order: sequence lengths outermost,
+    /// batches innermost — the order every scenario sweep reports in.
+    pub fn points(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.seq_lens
+            .iter()
+            .flat_map(move |&s| self.batches.iter().map(move |&b| (s, b)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +277,17 @@ mod tests {
         let m = DseMetrics::infeasible();
         assert!(m.latency_ms.is_nan() && !m.feasible);
         assert!(m.bit_eq(&DseMetrics::infeasible()));
+    }
+
+    #[test]
+    fn xformer_axes_iterate_in_sweep_order() {
+        let a = XformerAxes::from_slices(&[128, 512], &[1, 8]);
+        let pts: Vec<(u32, u32)> = a.points().collect();
+        assert_eq!(pts, vec![(128, 1), (128, 8), (512, 1), (512, 8)]);
+        assert_eq!(pts.len(), a.len());
+        assert!(!a.is_empty());
+        assert_eq!(XformerAxes::example_grid().len(), 4);
+        assert_eq!(XformerAxes::bench_grid().len(), 8);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Transformer architecture configuration with exact parameter
+//! accounting.
+//!
+//! Mirrors the Table 2 discipline of `lumos_dnn::zoo`: every
+//! architecture is described the way its model card states it, and
+//! [`TransformerConfig::param_count`] reproduces the published total
+//! parameter count **exactly** (see [`crate::zoo`]).
+
+/// How tokens enter the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Embedding {
+    /// Learned token/position(/segment) lookup tables (BERT, GPT-2).
+    Token {
+        /// Vocabulary size.
+        vocab: u32,
+        /// Maximum sequence length (rows of the position table).
+        max_positions: u32,
+        /// Segment-type vocabulary (BERT's 2; 0 = none).
+        segments: u32,
+        /// Whether an embedding LayerNorm follows (BERT yes, GPT-2 no).
+        layer_norm: bool,
+    },
+    /// Convolutional patch projection plus class token and learned
+    /// position embeddings (ViT).
+    Patch {
+        /// Square input image size in pixels.
+        image: u32,
+        /// Square patch size in pixels.
+        patch: u32,
+        /// Input channels.
+        channels: u32,
+    },
+}
+
+/// A transformer encoder/decoder stack, parameterized the way published
+/// model cards state them. Sequence length and batch size are *not*
+/// part of the architecture: they parameterize the lowering
+/// ([`crate::ops::extract_transformer_workloads`]).
+///
+/// # Examples
+///
+/// ```
+/// let bert = lumos_xformer::zoo::bert_base();
+/// assert_eq!(bert.param_count(), 109_482_240); // published total, exactly
+/// assert_eq!(bert.head_dim(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Model name (report rows, cache fingerprints).
+    pub name: String,
+    /// Hidden (embedding) dimension.
+    pub d_model: u32,
+    /// Attention heads per layer.
+    pub heads: u32,
+    /// Encoder/decoder layers.
+    pub layers: u32,
+    /// Feed-forward inner dimension.
+    pub d_ff: u32,
+    /// Token/patch embedding.
+    pub embedding: Embedding,
+    /// Final LayerNorm after the stack (GPT-2's `ln_f`, ViT's `norm`).
+    pub final_layer_norm: bool,
+    /// BERT-style tanh pooler over the class token.
+    pub pooler: bool,
+    /// Classification head width (ViT's 1000), if present.
+    pub head_units: Option<u32>,
+    /// Weight-tied language-model head (GPT-2): projects every position
+    /// back onto the token vocabulary. Adds **no** parameters (the
+    /// matrix is the token table, matching the published 124M count)
+    /// but its `seq × d_model × vocab` GEMM and logit softmax are very
+    /// real compute and traffic, so the lowering emits them.
+    pub tied_lm_head: bool,
+}
+
+impl TransformerConfig {
+    /// Per-head dimension (`d_model / heads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn head_dim(&self) -> u32 {
+        assert!(
+            self.heads > 0 && self.d_model.is_multiple_of(self.heads),
+            "{}: d_model {} not divisible by {} heads",
+            self.name,
+            self.d_model,
+            self.heads
+        );
+        self.d_model / self.heads
+    }
+
+    /// Checks internal consistency (positive dims, head divisibility,
+    /// patch grids that tile the image).
+    ///
+    /// # Panics
+    ///
+    /// Panics describing the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.d_model > 0, "{}: zero d_model", self.name);
+        assert!(self.layers > 0, "{}: zero layers", self.name);
+        assert!(self.d_ff > 0, "{}: zero d_ff", self.name);
+        let _ = self.head_dim();
+        match self.embedding {
+            Embedding::Token {
+                vocab,
+                max_positions,
+                ..
+            } => {
+                assert!(vocab > 0, "{}: empty vocabulary", self.name);
+                assert!(max_positions > 0, "{}: zero max_positions", self.name);
+            }
+            Embedding::Patch {
+                image,
+                patch,
+                channels,
+            } => {
+                assert!(
+                    patch > 0 && channels > 0 && image.is_multiple_of(patch.max(1)),
+                    "{}: {patch}px patches do not tile a {image}px image",
+                    self.name
+                );
+                assert!(
+                    !self.tied_lm_head,
+                    "{}: a tied LM head needs a token table to tie to",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// The token count the model actually runs at for a requested
+    /// sequence length: text models clamp to their position table, a
+    /// patch model always runs at its native patch count (+1 class
+    /// token) regardless of the request.
+    pub fn effective_seq(&self, requested: u32) -> u32 {
+        match self.embedding {
+            Embedding::Token { max_positions, .. } => requested.clamp(1, max_positions),
+            Embedding::Patch { image, patch, .. } => (image / patch).pow(2) + 1,
+        }
+    }
+
+    /// Parameters of the embedding stage.
+    pub fn embedding_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        match self.embedding {
+            Embedding::Token {
+                vocab,
+                max_positions,
+                segments,
+                layer_norm,
+            } => {
+                let tables = (vocab as u64 + max_positions as u64 + segments as u64) * d;
+                tables + if layer_norm { 2 * d } else { 0 }
+            }
+            Embedding::Patch {
+                patch, channels, ..
+            } => {
+                let proj = (patch as u64 * patch as u64 * channels as u64) * d + d;
+                let cls = d;
+                let pos = self.effective_seq(0) as u64 * d;
+                proj + cls + pos
+            }
+        }
+    }
+
+    /// Parameters of one encoder layer: fused QKV projection, attention
+    /// output projection, two LayerNorms, and the two MLP matrices —
+    /// all biased, matching the BERT/GPT-2/ViT conventions.
+    pub fn layer_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let f = self.d_ff as u64;
+        let qkv = 3 * (d * d + d);
+        let proj = d * d + d;
+        let norms = 2 * (2 * d);
+        let mlp = (d * f + f) + (f * d + d);
+        qkv + proj + norms + mlp
+    }
+
+    /// Parameters after the stack: final LayerNorm, pooler, head.
+    pub fn tail_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let mut p = 0;
+        if self.final_layer_norm {
+            p += 2 * d;
+        }
+        if self.pooler {
+            p += d * d + d;
+        }
+        if let Some(units) = self.head_units {
+            p += d * units as u64 + units as u64;
+        }
+        p
+    }
+
+    /// Total parameter count — matches the published model-card totals
+    /// exactly for the [`crate::zoo`] architectures.
+    pub fn param_count(&self) -> u64 {
+        self.embedding_params() + self.layers as u64 * self.layer_params() + self.tail_params()
+    }
+
+    /// A one-line summary: `name: params=…, layers=…, d_model=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: params={} layers={} d_model={} heads={} d_ff={}",
+            self.name,
+            self.param_count(),
+            self.layers,
+            self.d_model,
+            self.heads,
+            self.d_ff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig {
+            name: "tiny".into(),
+            d_model: 64,
+            heads: 4,
+            layers: 2,
+            d_ff: 256,
+            embedding: Embedding::Token {
+                vocab: 1000,
+                max_positions: 128,
+                segments: 0,
+                layer_norm: false,
+            },
+            final_layer_norm: true,
+            pooler: false,
+            head_units: None,
+            tied_lm_head: false,
+        }
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        assert_eq!(tiny().head_dim(), 16);
+        tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_rejected() {
+        let mut cfg = tiny();
+        cfg.heads = 5;
+        let _ = cfg.head_dim();
+    }
+
+    #[test]
+    fn effective_seq_clamps_to_positions() {
+        let cfg = tiny();
+        assert_eq!(cfg.effective_seq(64), 64);
+        assert_eq!(cfg.effective_seq(4096), 128);
+        assert_eq!(cfg.effective_seq(0), 1);
+    }
+
+    #[test]
+    fn patch_seq_is_native() {
+        let mut cfg = tiny();
+        cfg.embedding = Embedding::Patch {
+            image: 224,
+            patch: 16,
+            channels: 3,
+        };
+        assert_eq!(cfg.effective_seq(8), 197);
+        assert_eq!(cfg.effective_seq(4096), 197);
+    }
+
+    #[test]
+    fn param_count_decomposes() {
+        let cfg = tiny();
+        // Embedding: (1000 + 128) * 64 = 72_192.
+        assert_eq!(cfg.embedding_params(), 72_192);
+        // Layer: 3*(64²+64) + 64²+64 + 2*128 + (64*256+256 + 256*64+64).
+        let layer = 3 * (64 * 64 + 64) + (64 * 64 + 64) + 256 + (64 * 256 + 256) + (256 * 64 + 64);
+        assert_eq!(cfg.layer_params(), layer);
+        assert_eq!(cfg.tail_params(), 128);
+        assert_eq!(cfg.param_count(), 72_192 + 2 * layer + 128);
+    }
+
+    #[test]
+    fn summary_mentions_name_and_params() {
+        let s = tiny().summary();
+        assert!(s.starts_with("tiny: params="));
+    }
+}

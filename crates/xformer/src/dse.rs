@@ -1,0 +1,347 @@
+//! Design-space exploration glue for transformer workloads.
+//!
+//! Wires the transformer zoo into the `lumos_dse` engine the same way
+//! `lumos_core::dse` wires the CNN zoo: stable scenario fingerprints
+//! (`(config, platform, architecture, seq_len, batch)`), memoized
+//! evaluation through the platform runner, scenario sweeps over
+//! [`XformerAxes`] grids, configuration sweeps over [`DseAxes`] grids,
+//! and iterative [`explore`] with successive-halving refinement.
+
+use std::hash::{Hash, Hasher};
+
+use lumos_core::dse::{
+    config_fingerprint, evaluate_workloads, pareto_front, refine_axes, workloads_key, DseAxes,
+    DseMetrics, DsePoint, Exploration, MemoCache, StableHasher, SweepJob, SweepStats, XformerAxes,
+};
+use lumos_core::{CoreError, Platform, PlatformConfig, RunReport, Runner};
+
+use crate::config::TransformerConfig;
+use crate::ops::extract_transformer_workloads;
+
+/// Fingerprint-schema version for transformer scenarios: bump when the
+/// lowering in [`crate::ops`] changes so persisted caches from older
+/// decompositions are invalidated wholesale.
+const XFORMER_KEY_SCHEMA: u64 = 1;
+
+/// Stable fingerprint of a transformer architecture: every field of
+/// [`TransformerConfig`].
+pub fn model_fingerprint(model: &TransformerConfig) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(XFORMER_KEY_SCHEMA);
+    h.write_str(env!("CARGO_PKG_VERSION"));
+    model.hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of one workload scenario: the architecture at a
+/// sequence length and batch size. The *effective* sequence length is
+/// hashed, so requests a patch model (ViT) or the position-table clamp
+/// collapses to the same workload share one cache entry instead of
+/// re-simulating per requested length.
+pub fn scenario_fingerprint(model: &TransformerConfig, seq_len: u32, batch: u32) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(model_fingerprint(model));
+    h.write_u32(model.effective_seq(seq_len));
+    h.write_u32(batch);
+    h.finish()
+}
+
+/// The memoization key of one `(configuration, platform, scenario)`
+/// point.
+pub fn scenario_key(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    model: &TransformerConfig,
+    seq_len: u32,
+    batch: u32,
+) -> u64 {
+    workloads_key(
+        cfg,
+        platform,
+        scenario_fingerprint(model, seq_len, batch),
+        0,
+    )
+}
+
+/// The display label of a scenario run (also the report's model name).
+pub fn scenario_label(model: &TransformerConfig, seq_len: u32, batch: u32) -> String {
+    format!(
+        "{} (seq {}, batch {batch})",
+        model.name,
+        model.effective_seq(seq_len)
+    )
+}
+
+/// Runs one scenario through the platform simulator, returning the
+/// full per-op report.
+///
+/// # Errors
+///
+/// Propagates the runner's [`CoreError`]s (bad configuration,
+/// infeasible photonics).
+pub fn run(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    model: &TransformerConfig,
+    seq_len: u32,
+    batch: u32,
+) -> Result<RunReport, CoreError> {
+    let work = extract_transformer_workloads(model, seq_len, batch, cfg.precision);
+    Runner::new(cfg.clone()).run_workloads(platform, &scenario_label(model, seq_len, batch), &work)
+}
+
+/// Evaluates one scenario, folding infeasible configurations into
+/// NaN-metric records (the CNN path's [`lumos_core::dse::evaluate`]
+/// convention).
+pub fn evaluate(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    model: &TransformerConfig,
+    seq_len: u32,
+    batch: u32,
+) -> DseMetrics {
+    let work = extract_transformer_workloads(model, seq_len, batch, cfg.precision);
+    evaluate_workloads(cfg, platform, &scenario_label(model, seq_len, batch), &work)
+}
+
+/// One evaluated workload scenario: its grid coordinates plus metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Requested sequence length.
+    pub seq_len: u32,
+    /// Sequence length the model actually ran at.
+    pub effective_seq: u32,
+    /// Batch size.
+    pub batch: u32,
+    /// End-to-end latency, milliseconds.
+    pub latency_ms: f64,
+    /// Time-averaged power, watts.
+    pub power_w: f64,
+    /// Energy per bit, nanojoules.
+    pub epb_nj: f64,
+    /// Whether the point simulated successfully.
+    pub feasible: bool,
+}
+
+/// Sweeps the [`XformerAxes`] scenario grid for one architecture on
+/// one platform, in parallel and memoized.
+///
+/// Points come back in grid order (sequence lengths outermost)
+/// regardless of thread count.
+pub fn sweep_scenarios(
+    cfg: &PlatformConfig,
+    platform: &Platform,
+    model: &TransformerConfig,
+    axes: &XformerAxes,
+    threads: usize,
+    cache: &mut MemoCache,
+) -> (Vec<ScenarioPoint>, SweepStats) {
+    let grid: Vec<(u32, u32)> = axes.points().collect();
+    let job = SweepJob::new(grid.clone()).threads(threads);
+    let (metrics, stats) = job.run_memoized(
+        cache,
+        |&(s, b)| scenario_key(cfg, platform, model, s, b),
+        |&(s, b)| evaluate(cfg, platform, model, s, b),
+    );
+    let points = grid
+        .into_iter()
+        .zip(metrics)
+        .map(|((seq_len, batch), m)| ScenarioPoint {
+            seq_len,
+            effective_seq: model.effective_seq(seq_len),
+            batch,
+            latency_ms: m.latency_ms,
+            power_w: m.power_w,
+            epb_nj: m.epb_nj,
+            feasible: m.feasible,
+        })
+        .collect();
+    (points, stats)
+}
+
+/// Sweeps a [`DseAxes`] configuration grid (wavelengths × gateways ×
+/// MAC scales) on the photonic platform for one fixed transformer
+/// scenario — the CNN path's `lumos_core::dse::sweep_with` with a
+/// transformer workload in the evaluation seat.
+pub fn sweep_configs(
+    base: &PlatformConfig,
+    axes: &DseAxes,
+    model: &TransformerConfig,
+    seq_len: u32,
+    batch: u32,
+    threads: usize,
+    cache: &mut MemoCache,
+) -> (Vec<DsePoint>, SweepStats) {
+    let grid: Vec<(usize, usize, f64)> = axes.points().collect();
+    let configs: Vec<PlatformConfig> = grid
+        .iter()
+        .map(|&(w, g, s)| lumos_core::dse::grid_config(base, w, g, s))
+        .collect();
+    let platform = Platform::Siph2p5D;
+    let scenario_fp = scenario_fingerprint(model, seq_len, batch);
+    let job = SweepJob::new(configs).threads(threads);
+    let (metrics, stats) = job.run_memoized(
+        cache,
+        |cfg| {
+            let mut h = StableHasher::new();
+            h.write_u64(config_fingerprint(cfg));
+            h.write_u64(scenario_fp);
+            h.finish()
+        },
+        |cfg| evaluate(cfg, &platform, model, seq_len, batch),
+    );
+    let points = grid
+        .into_iter()
+        .zip(metrics)
+        .map(|((w, g, s), m)| DsePoint::new(w, g, s, m))
+        .collect();
+    (points, stats)
+}
+
+/// Iteratively explores the photonic design space for a transformer
+/// scenario: sweep the configuration grid, extract the Pareto front,
+/// refine the axes around it by successive halving, repeat — the
+/// transformer counterpart of `lumos_core::dse::explore`.
+#[allow(clippy::too_many_arguments)] // core::dse::explore's signature + the scenario coordinates
+pub fn explore(
+    base: &PlatformConfig,
+    axes: &DseAxes,
+    model: &TransformerConfig,
+    seq_len: u32,
+    batch: u32,
+    rounds: usize,
+    cache: &mut MemoCache,
+    threads: usize,
+) -> Exploration {
+    let mut axes = axes.clone();
+    let mut points: Vec<DsePoint> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut stats = Vec::new();
+    for _ in 0..rounds.max(1) {
+        let (pts, st) = sweep_configs(base, &axes, model, seq_len, batch, threads, cache);
+        stats.push(st);
+        for p in pts {
+            if seen.insert((p.wavelengths, p.gateways, p.mac_scale.to_bits())) {
+                points.push(p);
+            }
+        }
+        let front = pareto_front(&points);
+        axes = refine_axes(&axes, &front);
+    }
+    let front = pareto_front(&points);
+    Exploration {
+        points,
+        front,
+        rounds: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn scenario_keys_are_stable_and_sensitive() {
+        let cfg = PlatformConfig::paper_table1();
+        let bert = zoo::bert_base();
+        let p = Platform::Siph2p5D;
+        assert_eq!(
+            scenario_key(&cfg, &p, &bert, 128, 1),
+            scenario_key(&cfg, &p, &bert.clone(), 128, 1)
+        );
+        assert_ne!(
+            scenario_key(&cfg, &p, &bert, 128, 1),
+            scenario_key(&cfg, &p, &bert, 256, 1)
+        );
+        assert_ne!(
+            scenario_key(&cfg, &p, &bert, 128, 1),
+            scenario_key(&cfg, &p, &bert, 128, 2)
+        );
+        assert_ne!(
+            scenario_key(&cfg, &p, &bert, 128, 1),
+            scenario_key(&cfg, &p, &zoo::gpt2_small(), 128, 1)
+        );
+        assert_ne!(
+            scenario_key(&cfg, &p, &bert, 128, 1),
+            scenario_key(&cfg, &Platform::Monolithic, &bert, 128, 1)
+        );
+        // Requests that lower to the same effective workload share a key.
+        let vit = zoo::vit_b16();
+        assert_eq!(
+            scenario_key(&cfg, &p, &vit, 64, 1),
+            scenario_key(&cfg, &p, &vit, 512, 1)
+        );
+        assert_eq!(
+            scenario_key(&cfg, &p, &bert, 512, 1),
+            scenario_key(&cfg, &p, &bert, 4096, 1), // clamped to 512
+        );
+    }
+
+    #[test]
+    fn evaluate_is_finite_on_table1() {
+        let cfg = PlatformConfig::paper_table1();
+        for platform in Platform::all() {
+            let m = evaluate(&cfg, &platform, &zoo::bert_base(), 128, 1);
+            assert!(m.feasible, "{platform}");
+            assert!(m.latency_ms.is_finite() && m.latency_ms > 0.0);
+            assert!(m.power_w.is_finite() && m.power_w > 0.0);
+            assert!(m.epb_nj.is_finite() && m.epb_nj > 0.0);
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_is_memoized() {
+        let cfg = PlatformConfig::paper_table1();
+        let axes = XformerAxes::from_slices(&[64, 128], &[1, 2]);
+        let mut cache = MemoCache::in_memory();
+        let (first, s1) = sweep_scenarios(
+            &cfg,
+            &Platform::Siph2p5D,
+            &zoo::vit_b16(),
+            &axes,
+            2,
+            &mut cache,
+        );
+        assert_eq!(first.len(), 4);
+        // ViT runs at its native 197 tokens, so the two requested
+        // sequence lengths share cache keys: only 2 distinct scenarios
+        // simulate, the other 2 are first-sweep hits.
+        assert_eq!(s1.evaluated, 2);
+        assert_eq!(s1.hits, 2);
+        let (second, s2) = sweep_scenarios(
+            &cfg,
+            &Platform::Siph2p5D,
+            &zoo::vit_b16(),
+            &axes,
+            2,
+            &mut cache,
+        );
+        assert!(s2.all_hits());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a, b);
+        }
+        // ViT ignores the requested sequence length.
+        assert!(first.iter().all(|p| p.effective_seq == 197));
+    }
+
+    #[test]
+    fn config_sweep_and_explore_cover_the_grid() {
+        let cfg = PlatformConfig::paper_table1();
+        let axes = DseAxes {
+            wavelengths: vec![16, 64],
+            gateways: vec![1, 4],
+            mac_scales: vec![1.0],
+        };
+        let mut cache = MemoCache::in_memory();
+        let (points, _) = sweep_configs(&cfg, &axes, &zoo::bert_base(), 64, 1, 2, &mut cache);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.feasible));
+
+        let ex = explore(&cfg, &axes, &zoo::bert_base(), 64, 1, 2, &mut cache, 2);
+        assert!(!ex.front.is_empty());
+        assert_eq!(ex.rounds.len(), 2);
+        // Round 1 re-visits the grid already in the cache.
+        assert_eq!(ex.rounds[0].hits, ex.rounds[0].points);
+    }
+}

@@ -1,0 +1,169 @@
+//! The transformer model zoo — the CNN Table 2's counterpart.
+//!
+//! Each architecture is reconstructed from its model card so that
+//! [`TransformerConfig::param_count`] matches the published total
+//! **exactly**, mirroring the Table 2 exact-count discipline:
+//!
+//! | Model | Layers | Heads | d_model | Parameters |
+//! |---|---|---|---|---|
+//! | BERT-Base (uncased) | 12 | 12 | 768 | 109,482,240 |
+//! | GPT-2 small | 12 | 12 | 768 | 124,439,808 |
+//! | ViT-B/16 (224px, 1000-class) | 12 | 12 | 768 | 86,567,656 |
+//!
+//! These exact totals double as integration tests of the parameter
+//! accounting in [`crate::config`].
+
+use crate::config::{Embedding, TransformerConfig};
+
+/// BERT-Base uncased: 12 encoder layers, WordPiece vocabulary of
+/// 30,522, 512 positions, 2 segment types, embedding LayerNorm, and the
+/// tanh pooler — 109,482,240 parameters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lumos_xformer::zoo::bert_base().param_count(), 109_482_240);
+/// ```
+pub fn bert_base() -> TransformerConfig {
+    TransformerConfig {
+        name: "bert_base".into(),
+        d_model: 768,
+        heads: 12,
+        layers: 12,
+        d_ff: 3072,
+        embedding: Embedding::Token {
+            vocab: 30_522,
+            max_positions: 512,
+            segments: 2,
+            layer_norm: true,
+        },
+        final_layer_norm: false,
+        pooler: true,
+        head_units: None,
+        tied_lm_head: false,
+    }
+}
+
+/// GPT-2 small: 12 decoder layers, BPE vocabulary of 50,257, 1,024
+/// positions, final LayerNorm, weight-tied LM head — 124,439,808
+/// parameters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lumos_xformer::zoo::gpt2_small().param_count(), 124_439_808);
+/// ```
+pub fn gpt2_small() -> TransformerConfig {
+    TransformerConfig {
+        name: "gpt2_small".into(),
+        d_model: 768,
+        heads: 12,
+        layers: 12,
+        d_ff: 3072,
+        embedding: Embedding::Token {
+            vocab: 50_257,
+            max_positions: 1024,
+            segments: 0,
+            layer_norm: false,
+        },
+        final_layer_norm: true,
+        pooler: false,
+        head_units: None,
+        tied_lm_head: true,
+    }
+}
+
+/// ViT-B/16 on 224×224 RGB inputs with the 1000-class ImageNet head:
+/// 196 patches + class token, final LayerNorm — 86,567,656 parameters.
+///
+/// # Examples
+///
+/// ```
+/// let vit = lumos_xformer::zoo::vit_b16();
+/// assert_eq!(vit.param_count(), 86_567_656);
+/// assert_eq!(vit.effective_seq(0), 197); // 14×14 patches + cls token
+/// ```
+pub fn vit_b16() -> TransformerConfig {
+    TransformerConfig {
+        name: "vit_b16".into(),
+        d_model: 768,
+        heads: 12,
+        layers: 12,
+        d_ff: 3072,
+        embedding: Embedding::Patch {
+            image: 224,
+            patch: 16,
+            channels: 3,
+        },
+        final_layer_norm: true,
+        pooler: false,
+        head_units: Some(1000),
+        tied_lm_head: false,
+    }
+}
+
+/// All three zoo transformers, in the table's row order.
+pub fn transformer_zoo() -> Vec<TransformerConfig> {
+    vec![bert_base(), gpt2_small(), vit_b16()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_published_parameter_counts() {
+        let expected: &[(&str, u64)] = &[
+            ("bert_base", 109_482_240),
+            ("gpt2_small", 124_439_808),
+            ("vit_b16", 86_567_656),
+        ];
+        for (cfg, (name, params)) in transformer_zoo().iter().zip(expected) {
+            assert_eq!(cfg.name, *name);
+            assert_eq!(
+                cfg.param_count(),
+                *params,
+                "{name} parameter count diverges from the published total"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_configs_validate() {
+        for cfg in transformer_zoo() {
+            cfg.validate();
+            assert_eq!(cfg.head_dim(), 64);
+        }
+    }
+
+    #[test]
+    fn bert_embedding_breakdown() {
+        let bert = bert_base();
+        // token 30522·768 + pos 512·768 + segment 2·768 + LN 2·768.
+        assert_eq!(bert.embedding_params(), 23_837_184);
+        assert_eq!(bert.layer_params(), 7_087_872);
+        assert_eq!(bert.tail_params(), 590_592); // pooler
+    }
+
+    #[test]
+    fn gpt2_ties_its_lm_head() {
+        let gpt2 = gpt2_small();
+        // No head parameters (the LM head reuses the token table) …
+        assert_eq!(gpt2.head_units, None);
+        assert_eq!(gpt2.tail_params(), 1536); // ln_f only
+                                              // … but the logits GEMM and softmax are still scheduled.
+        assert!(gpt2.tied_lm_head);
+        let ops = crate::ops::transformer_ops(&gpt2, 128, 1);
+        let head = ops.iter().find(|o| o.name == "lm_head").unwrap();
+        assert_eq!(head.weight_elems, 50_257 * 768);
+        assert_eq!(head.macs, 128 * 50_257 * 768);
+        assert!(ops.iter().any(|o| o.name == "lm_head_softmax"));
+    }
+
+    #[test]
+    fn vit_tail_is_norm_plus_head() {
+        let vit = vit_b16();
+        assert_eq!(vit.tail_params(), 1536 + 769_000);
+        assert_eq!(vit.embedding_params(), 590_592 + 768 + 151_296);
+    }
+}

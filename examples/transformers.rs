@@ -1,0 +1,155 @@
+//! CNN vs transformer on the three platforms (zoo expansion beyond
+//! Table 2): BERT-Base, GPT-2 small, and ViT-B/16 lowered to batched
+//! GEMMs + softmax/layer-norm traffic, swept over sequence length and
+//! batch size.
+//!
+//! The 3 models × 2 sequence lengths × 2 batches scenario grid
+//! evaluates through the `lumos_dse` engine — in parallel, memoized,
+//! and persisted under `target/dse-cache` — and a CNN baseline grid
+//! (ResNet-50 / VGG-16 at the same batch sizes) rides the same cache
+//! for the comparison table.
+//!
+//! ```text
+//! cargo run --example transformers
+//! ```
+
+use std::time::Instant;
+
+use lumos::core::{dse, Platform, PlatformConfig, Runner};
+use lumos::dnn::workload::{totals, Precision};
+use lumos::dse::{DseMetrics, MemoCache, SweepJob, XformerAxes};
+use lumos::prelude::*;
+use lumos::xformer::{dse as xdse, extract_transformer_workloads, zoo as xzoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = PlatformConfig::paper_table1();
+    let platform = Platform::Siph2p5D;
+    let axes = XformerAxes::example_grid();
+    let models = xzoo::transformer_zoo();
+
+    // Scenario cells: model-major, then the seq × batch grid.
+    let cells: Vec<(usize, u32, u32)> = models
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| axes.points().map(move |(s, b)| (i, s, b)))
+        .collect();
+
+    let mut cache = MemoCache::persistent_default().unwrap_or_else(|_| MemoCache::in_memory());
+    let t0 = Instant::now();
+    let job = SweepJob::new(cells);
+    let (metrics, stats) = job.run_memoized(
+        &mut cache,
+        |&(i, s, b)| xdse::scenario_key(&cfg, &platform, &models[i], s, b),
+        |&(i, s, b)| xdse::evaluate(&cfg, &platform, &models[i], s, b),
+    );
+    println!(
+        "evaluated {} transformer scenarios in {:.2} ms, cache hits: {}/{} ({} simulated on {} threads)\n",
+        stats.points,
+        t0.elapsed().as_secs_f64() * 1e3,
+        stats.hits,
+        stats.points,
+        stats.evaluated,
+        stats.threads,
+    );
+    for (m, &(i, s, b)) in metrics.iter().zip(job.points()) {
+        if !m.feasible {
+            return Err(format!("{} seq {s} batch {b} failed to simulate", models[i].name).into());
+        }
+    }
+
+    println!("transformer zoo on 2.5D-SiPh (Table 1 platform):");
+    println!(
+        "{:<12} {:>11} {:>6} {:>6} {:>10} {:>8} {:>11} {:>10}",
+        "model", "params", "seq", "batch", "lat (ms)", "P (W)", "EPB (nJ/b)", "MACs/byte"
+    );
+    for (m, &(i, s, b)) in metrics.iter().zip(job.points()) {
+        let model = &models[i];
+        let work = extract_transformer_workloads(model, s, b, cfg.precision);
+        println!(
+            "{:<12} {:>11} {:>6} {:>6} {:>10.3} {:>8.1} {:>11.3} {:>10.1}",
+            model.name,
+            model.param_count(),
+            model.effective_seq(s),
+            b,
+            m.latency_ms,
+            m.power_w,
+            m.epb_nj,
+            totals(&work).macs_per_byte(),
+        );
+    }
+
+    // CNN baseline at the same batch sizes, through the same engine.
+    let runner = Runner::new(cfg.clone());
+    let cnns = [zoo::resnet50(), zoo::vgg16()];
+    let cnn_cells: Vec<(usize, u32)> = (0..cnns.len())
+        .flat_map(|i| XformerAxes::EXAMPLE_BATCHES.iter().map(move |&b| (i, b)))
+        .collect();
+    let cnn_job = SweepJob::new(cnn_cells);
+    let (cnn_metrics, _) = cnn_job.run_memoized(
+        &mut cache,
+        |&(i, b)| dse::point_key_salted(&cfg, &platform, &cnns[i], b as u64),
+        |&(i, b)| match runner.run_batch(&platform, &cnns[i], b) {
+            Ok(r) => DseMetrics {
+                latency_ms: r.latency_ms(),
+                power_w: r.avg_power_w(),
+                epb_nj: r.epb_nj(),
+                feasible: true,
+            },
+            Err(_) => DseMetrics::infeasible(),
+        },
+    );
+
+    println!("\nCNN baselines on 2.5D-SiPh:");
+    println!(
+        "{:<12} {:>11} {:>6} {:>6} {:>10} {:>8} {:>11} {:>10}",
+        "model", "params", "seq", "batch", "lat (ms)", "P (W)", "EPB (nJ/b)", "MACs/byte"
+    );
+    for (m, &(i, b)) in cnn_metrics.iter().zip(cnn_job.points()) {
+        let model = &cnns[i];
+        let work = lumos::dnn::extract_workloads(model, Precision::int8());
+        let mut t = totals(&work);
+        // Batched traffic: weights once, activations × batch.
+        t.total_bits = t.weight_bits + b as u64 * t.activation_bits;
+        t.macs *= b as u64;
+        println!(
+            "{:<12} {:>11} {:>6} {:>6} {:>10.3} {:>8.1} {:>11.3} {:>10.1}",
+            model.name(),
+            model.param_count(),
+            "-",
+            b,
+            m.latency_ms,
+            m.power_w,
+            m.epb_nj,
+            t.macs_per_byte(),
+        );
+    }
+
+    // Where does the traffic go? Attention's share of bits vs MACs
+    // shows why long sequences drag transformers toward the
+    // bandwidth-bound regime CNNs rarely enter.
+    println!("\nattention share of BERT-base traffic (batch 1):");
+    for &seq in XformerAxes::EXAMPLE_SEQ_LENS {
+        let bert = xzoo::bert_base();
+        let ops = lumos::xformer::transformer_ops(&bert, seq, 1);
+        let total_elems: u64 = ops.iter().map(|o| o.total_elems()).sum();
+        let attn_elems: u64 = ops
+            .iter()
+            .filter(|o| o.kind.is_attention())
+            .map(|o| o.total_elems())
+            .sum();
+        let total_macs: u64 = ops.iter().map(|o| o.macs).sum();
+        let attn_macs: u64 = ops
+            .iter()
+            .filter(|o| o.kind.is_attention())
+            .map(|o| o.macs)
+            .sum();
+        println!(
+            "  seq {seq:>4}: {:.0}% of bits, {:.0}% of MACs",
+            100.0 * attn_elems as f64 / total_elems as f64,
+            100.0 * attn_macs as f64 / total_macs as f64,
+        );
+    }
+
+    cache.flush()?;
+    Ok(())
+}

@@ -15,6 +15,8 @@
 //! * [`hbm`] — optically-interfaced memory chiplet
 //! * [`core`] — photonic MAC units, platforms, mapper, and runner
 //! * [`dse`] — parallel, memoized design-space exploration engine
+//! * [`xformer`] — transformer workloads: attention as batched GEMMs,
+//!   softmax/layer-norm traffic, and the BERT/GPT-2/ViT zoo
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ pub use lumos_noc as noc;
 pub use lumos_phnet as phnet;
 pub use lumos_photonics as photonics;
 pub use lumos_sim as sim;
+pub use lumos_xformer as xformer;
 
 /// The most common types for running paper experiments.
 pub mod prelude {
@@ -47,6 +50,7 @@ pub mod prelude {
         calibration::Calibration, config::PlatformConfig, platform::Platform, runner::Runner,
     };
     pub use lumos_dnn::zoo;
-    pub use lumos_dse::{DseAxes, MemoCache, SweepJob};
+    pub use lumos_dse::{DseAxes, MemoCache, SweepJob, XformerAxes};
     pub use lumos_sim::SimTime;
+    pub use lumos_xformer::{zoo as xformer_zoo, TransformerConfig};
 }

@@ -179,11 +179,51 @@ fn per_layer_reports_cover_whole_run() {
     let runner = Runner::new(PlatformConfig::paper_table1());
     for p in Platform::all() {
         let r = runner.run(&p, &zoo::densenet121()).unwrap();
-        // 120 convs + 1 fc weighted layers.
-        assert_eq!(r.layers.len(), 121, "{p}");
+        // 120 convs + 1 fc weighted layers + the classifier softmax.
+        assert_eq!(r.layers.len(), 122, "{p}");
         let last = r.layers.last().unwrap();
         assert_eq!(last.finish, r.total_latency, "{p}");
     }
+}
+
+#[test]
+fn transformer_runs_on_every_platform() {
+    // The xformer lowering flows through the same runner as the CNNs:
+    // batched GEMMs spread over the heterogeneous MAC classes and their
+    // streams ride each platform's interconnect model.
+    let runner = Runner::new(PlatformConfig::paper_table1());
+    let bert = xformer_zoo::bert_base();
+    let work =
+        lumos::xformer::extract_transformer_workloads(&bert, 512, 1, lumos::dnn::Precision::int8());
+    for p in Platform::all() {
+        let r = runner
+            .run_workloads(&p, "bert_base", &work)
+            .expect("bert runs");
+        assert_eq!(r.layers.len(), work.len(), "{p}");
+        assert!(r.latency_ms().is_finite() && r.latency_ms() > 0.0, "{p}");
+        assert!(r.epb_nj().is_finite() && r.epb_nj() > 0.0, "{p}");
+        let last = r.layers.last().unwrap();
+        assert_eq!(last.finish, r.total_latency, "{p}");
+    }
+}
+
+#[test]
+fn siph_beats_elec_on_long_sequence_attention() {
+    // The headline question of the zoo expansion: does the photonic
+    // interposer's edge hold for bandwidth-bound attention traffic?
+    let cfg = PlatformConfig::paper_table1();
+    let siph =
+        lumos::xformer::dse::run(&cfg, &Platform::Siph2p5D, &xformer_zoo::bert_base(), 512, 8)
+            .unwrap();
+    let elec =
+        lumos::xformer::dse::run(&cfg, &Platform::Elec2p5D, &xformer_zoo::bert_base(), 512, 8)
+            .unwrap();
+    assert!(
+        siph.total_latency < elec.total_latency,
+        "siph {} vs elec {}",
+        siph.total_latency,
+        elec.total_latency
+    );
 }
 
 #[test]
