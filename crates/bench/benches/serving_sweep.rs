@@ -1,0 +1,108 @@
+//! Serving capacity sweep: the fleet-level counterpart of the Table 3
+//! harness. Prints the p99-vs-load grid of a CNN + transformer mix
+//! across scheduling policies and platforms — through the memoized
+//! `lumos_dse` engine — then benchmarks the serving simulator and the
+//! warm-cache sweep path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::{bench_threads, Align, Table};
+use lumos_core::{Platform, PlatformConfig};
+use lumos_dnn::workload::Precision;
+use lumos_dnn::zoo;
+use lumos_dse::{MemoCache, ServeAxes};
+use lumos_serve::{dse as sdse, simulate, ServeConfig, ServedModel};
+
+const PLATFORMS: [Platform; 2] = [Platform::Siph2p5D, Platform::Elec2p5D];
+
+fn mix() -> Vec<ServedModel> {
+    vec![
+        ServedModel::cnn(&zoo::resnet50(), Precision::int8(), 60.0, 10.0),
+        ServedModel::transformer(
+            &lumos_xformer::zoo::bert_base(),
+            128,
+            4,
+            Precision::int8(),
+            10.0,
+            50.0,
+        ),
+    ]
+}
+
+fn base() -> ServeConfig {
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix())
+        .with_duration_s(1.0)
+        .with_seed(2026)
+}
+
+fn sweep_once(cache: &mut MemoCache) -> Vec<sdse::ServePoint> {
+    let (points, _) = sdse::sweep(
+        &base(),
+        &ServeAxes::bench_grid(),
+        &PLATFORMS,
+        bench_threads(),
+        cache,
+    )
+    .expect("serving sweep runs");
+    points
+}
+
+fn print_sweep() {
+    println!("\n=== serving capacity sweep (ResNet-50 + BERT-Base mix) ===");
+    let mut cache = MemoCache::in_memory();
+    let points = sweep_once(&mut cache);
+    let mut table = Table::new(&[
+        ("platform", Align::Left),
+        ("load", Align::Right),
+        ("policy", Align::Right),
+        ("p99 (ms)", Align::Right),
+        ("P (W)", Align::Right),
+        ("EPB (nJ/b)", Align::Right),
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.platform.to_string(),
+            format!("{:.2}", p.load_scale),
+            p.policy.to_string(),
+            format!("{:.2}", p.p99_ms),
+            format!("{:.1}", p.power_w),
+            format!("{:.3}", p.epb_nj),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep();
+    let mut group = c.benchmark_group("serving_sweep");
+    group.sample_size(10);
+
+    for load in [0.5f64, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_siph", format!("load{load}")),
+            &load,
+            |b, &load| {
+                let cfg = base().with_load_scale(load).with_duration_s(0.25);
+                b.iter(|| simulate(&cfg).expect("serving simulation runs"))
+            },
+        );
+    }
+
+    // The memoized engine on a warm cache: the whole policy × load ×
+    // platform grid served from the memo should cost microseconds.
+    let mut cache = MemoCache::in_memory();
+    let _ = sweep_once(&mut cache);
+    group.bench_function("warm_cache_grid", |b| {
+        b.iter(|| {
+            let (points, stats) =
+                sdse::sweep(&base(), &ServeAxes::bench_grid(), &PLATFORMS, 1, &mut cache)
+                    .expect("warm serving sweep runs");
+            assert!(stats.all_hits());
+            points
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

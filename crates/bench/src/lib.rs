@@ -15,6 +15,10 @@
 use lumos_core::{summarize, Platform, PlatformConfig, PlatformSummary, RunReport, Runner};
 use lumos_dnn::Model;
 
+pub mod table;
+
+pub use table::{Align, Table};
+
 /// Parses a `--threads N` / `--threads=N` override out of a command
 /// line. Returns `None` when absent or unparseable (the caller falls
 /// back to [`lumos_dse::available_threads`]).

@@ -1,0 +1,155 @@
+//! Aligned-column table rendering for example and harness output.
+//!
+//! Every example used to hand-roll `format!` width specifiers; this is
+//! the one tiny shared implementation. Column widths adapt to the
+//! longest cell, so tables stay aligned when a value outgrows a
+//! hard-coded width.
+
+use std::fmt;
+
+/// Horizontal alignment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (labels).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An aligned-column table: headers, per-column alignment, and rows.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_bench::table::{Align, Table};
+///
+/// let mut t = Table::new(&[("model", Align::Left), ("lat (ms)", Align::Right)]);
+/// t.row(vec!["lenet5".into(), format!("{:.3}", 0.0047)]);
+/// t.row(vec!["resnet50".into(), format!("{:.3}", 1.068)]);
+/// let out = t.render();
+/// assert_eq!(out.lines().count(), 3);
+/// assert!(out.lines().all(|l| l.len() <= 20));
+/// assert!(out.starts_with("model"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given `(header, alignment)` columns.
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        Table {
+            headers: columns.iter().map(|(h, _)| (*h).to_owned()).collect(),
+            aligns: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders header + rows, columns separated by a single space,
+    /// each column padded to its widest cell (trailing spaces
+    /// trimmed).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            let mut line = String::new();
+            for ((cell, &width), &align) in row.iter().zip(&widths).zip(&self.aligns) {
+                if !line.is_empty() {
+                    line.push(' ');
+                }
+                match align {
+                    Align::Left => line.push_str(&format!("{cell:<width$}")),
+                    Align::Right => line.push_str(&format!("{cell:>width$}")),
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints [`Table::render`] to stdout.
+    pub fn print(&self) {
+        print!("{self}");
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(&[("name", Align::Left), ("n", Align::Right)]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "12345".into()]);
+        let lines: Vec<String> = t.render().lines().map(String::from).collect();
+        assert_eq!(lines[0], "name            n");
+        assert_eq!(lines[1], "a               1");
+        assert_eq!(lines[2], "longer-name 12345");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn headerless_data_still_renders_header_line() {
+        let t = Table::new(&[("x", Align::Right)]);
+        assert_eq!(t.render(), "x\n");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut t = Table::new(&[("k", Align::Left), ("v", Align::Right)]);
+        t.row(vec!["x".into(), "1.5".into()]);
+        assert_eq!(t.render(), t.clone().render());
+    }
+}

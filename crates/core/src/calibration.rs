@@ -90,6 +90,15 @@ impl Calibration {
         }
     }
 
+    /// The monolithic platform's effective unit count for `n` 2.5D
+    /// units: scaled by [`mono_unit_scale`](Self::mono_unit_scale),
+    /// rounded, at least one. The single definition shared by the
+    /// runner's compute path and `lumos_serve`'s utilization
+    /// denominators.
+    pub fn mono_units(&self, n: usize) -> usize {
+        ((n as f64 * self.mono_unit_scale).round() as usize).max(1)
+    }
+
     /// Validates the calibration.
     ///
     /// # Panics

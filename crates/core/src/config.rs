@@ -40,6 +40,17 @@ impl MacClass {
             MacClass::Conv3,
         ]
     }
+
+    /// Index of this class in [`MacClass::all`] order — the layout of
+    /// every per-class array (contention shares, serving utilization).
+    pub fn index(self) -> usize {
+        match self {
+            MacClass::Dense100 => 0,
+            MacClass::Conv7 => 1,
+            MacClass::Conv5 => 2,
+            MacClass::Conv3 => 3,
+        }
+    }
 }
 
 /// Table 1 row for one MAC class.
@@ -259,6 +270,13 @@ mod tests {
         // Σ units × lanes = 8·100 + 8·49 + 32·25 + 132·9.
         assert_eq!(cfg.total_lanes(), 800 + 392 + 800 + 1188);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, class) in MacClass::all().into_iter().enumerate() {
+            assert_eq!(class.index(), i, "{class:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Resource-contention hooks for multi-tenant execution.
+//!
+//! A serving system (`lumos_serve`) time-shares one platform between
+//! several concurrently resident layer streams. Rather than simulating
+//! the interleaving flit-by-flit, each stream runs through the ordinary
+//! [`Runner`](crate::runner::Runner) under a [`ContentionModel`]
+//! describing the slice of the platform it was allocated:
+//!
+//! * **compute** — every [`PlacementShare`](crate::mapper::PlacementShare)
+//!   sees only its class's allocated fraction of MAC units, so its
+//!   compute span dilates by the inverse of the allocation while the
+//!   active MAC energy (work × power) is conserved;
+//! * **bandwidth** — every interposer and memory link (photonic
+//!   wavelength rate, electrical mesh link clock, HBM channel rate, the
+//!   monolithic distribution bus) is derated to the allocated fraction,
+//!   which is exactly the fair-share throughput of a time-multiplexed
+//!   link.
+//!
+//! This is processor-sharing semantics: allocating `1/k` of the
+//! platform to each of `k` resident streams models them progressing
+//! concurrently, each at `1/k` speed.
+
+use crate::config::MacClass;
+use crate::error::CoreError;
+
+/// The fraction of the platform one workload stream was allocated.
+///
+/// Shares are in `(0, 1]`; [`ContentionModel::uncontended`] (all ones)
+/// reproduces the single-tenant runner bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_core::config::MacClass;
+/// use lumos_core::contention::ContentionModel;
+///
+/// let c = ContentionModel::of_resident_streams(4);
+/// assert_eq!(c.unit_share(MacClass::Conv3), 0.25);
+/// assert_eq!(c.bandwidth_share(), 0.25);
+/// assert!(ContentionModel::uncontended().is_uncontended());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionModel {
+    /// Per-class unit allocation, indexed in [`MacClass::all`] order.
+    unit_share: [f64; 4],
+    /// Link-bandwidth allocation (interposer + memory).
+    bandwidth_share: f64,
+}
+
+impl ContentionModel {
+    /// The whole platform: every share is 1.
+    pub fn uncontended() -> Self {
+        Self::uniform(1.0)
+    }
+
+    /// The same allocation `share` for every MAC class and every link.
+    pub fn uniform(share: f64) -> Self {
+        ContentionModel {
+            unit_share: [share; 4],
+            bandwidth_share: share,
+        }
+    }
+
+    /// The fair processor-sharing allocation when `streams` layer
+    /// streams are resident: `1/streams` of everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn of_resident_streams(streams: usize) -> Self {
+        assert!(streams > 0, "need at least one resident stream");
+        Self::uniform(1.0 / streams as f64)
+    }
+
+    /// Overrides the unit allocation of one MAC class.
+    pub fn with_unit_share(mut self, class: MacClass, share: f64) -> Self {
+        self.unit_share[class.index()] = share;
+        self
+    }
+
+    /// Overrides the link-bandwidth allocation.
+    pub fn with_bandwidth_share(mut self, share: f64) -> Self {
+        self.bandwidth_share = share;
+        self
+    }
+
+    /// The unit allocation of `class`.
+    pub fn unit_share(&self, class: MacClass) -> f64 {
+        self.unit_share[class.index()]
+    }
+
+    /// The link-bandwidth allocation.
+    pub fn bandwidth_share(&self) -> f64 {
+        self.bandwidth_share
+    }
+
+    /// Whether every share is exactly 1 (the single-tenant case).
+    pub fn is_uncontended(&self) -> bool {
+        self.bandwidth_share == 1.0 && self.unit_share.iter().all(|&s| s == 1.0)
+    }
+
+    /// Checks every share lies in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] naming the first violated share.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for &class in &MacClass::all() {
+            let s = self.unit_share(class);
+            if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                return Err(CoreError::BadConfig {
+                    reason: format!("{class:?} unit share {s} outside (0, 1]"),
+                });
+            }
+        }
+        let b = self.bandwidth_share;
+        if !(b.is_finite() && b > 0.0 && b <= 1.0) {
+            return Err(CoreError::BadConfig {
+                reason: format!("bandwidth share {b} outside (0, 1]"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel::uncontended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_per_class_overrides() {
+        let c = ContentionModel::uniform(0.5)
+            .with_unit_share(MacClass::Dense100, 0.25)
+            .with_bandwidth_share(0.75);
+        assert_eq!(c.unit_share(MacClass::Dense100), 0.25);
+        assert_eq!(c.unit_share(MacClass::Conv3), 0.5);
+        assert_eq!(c.bandwidth_share(), 0.75);
+        assert!(!c.is_uncontended());
+        c.validate().expect("valid shares");
+    }
+
+    #[test]
+    fn invalid_shares_rejected() {
+        assert!(ContentionModel::uniform(0.0).validate().is_err());
+        assert!(ContentionModel::uniform(1.5).validate().is_err());
+        assert!(ContentionModel::uniform(f64::NAN).validate().is_err());
+        assert!(ContentionModel::uncontended()
+            .with_bandwidth_share(-0.1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn resident_stream_shares() {
+        let c = ContentionModel::of_resident_streams(1);
+        assert!(c.is_uncontended());
+        let c = ContentionModel::of_resident_streams(3);
+        for class in MacClass::all() {
+            assert!((c.unit_share(class) - 1.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resident stream")]
+    fn zero_streams_panics() {
+        let _ = ContentionModel::of_resident_streams(0);
+    }
+}

@@ -22,7 +22,8 @@ use lumos_photonics::modulator::ModulationFormat;
 
 pub use lumos_dse::{
     available_threads, parallel_map, pareto_front, pareto_front_by, refine_axes, DseAxes,
-    DseMetrics, DsePoint, MemoCache, StableHasher, SweepJob, SweepStats, XformerAxes,
+    DseMetrics, DsePoint, MemoCache, ServeAxes, ServePolicy, StableHasher, SweepJob, SweepStats,
+    XformerAxes,
 };
 
 use crate::config::{MacClassConfig, PlatformConfig};

@@ -9,6 +9,7 @@
 //!
 //! * [`config`] — Table 1 (chiplet classes, MAC counts, gateways)
 //! * [`calibration`] — every device constant, with provenance
+//! * [`contention`] — multi-tenant resource shares (the `lumos_serve` hook)
 //! * [`mac`] — broadcast-and-weight photonic MAC units (Fig. 4)
 //! * [`mapper`] — layer → chiplet-class placement
 //! * [`dse`] — design-space exploration (open challenge 3)
@@ -41,6 +42,7 @@
 
 pub mod calibration;
 pub mod config;
+pub mod contention;
 pub mod dse;
 pub mod error;
 pub mod mac;
@@ -52,6 +54,7 @@ pub mod runner;
 
 pub use calibration::Calibration;
 pub use config::{MacClass, PlatformConfig};
+pub use contention::ContentionModel;
 pub use error::CoreError;
 pub use platform::Platform;
 pub use report::{summarize, EnergyBreakdown, LayerReport, PlatformSummary, RunReport};

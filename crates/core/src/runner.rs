@@ -24,6 +24,7 @@ use lumos_phnet::network::PhotonicInterposer;
 use lumos_sim::{BandwidthServer, SimTime};
 
 use crate::config::{MacClass, PlatformConfig};
+use crate::contention::ContentionModel;
 use crate::error::CoreError;
 use crate::mac::MacUnit;
 use crate::mapper::place;
@@ -92,10 +93,11 @@ impl Runner {
     }
 
     /// Runs a pre-extracted workload sequence — the entry point for
-    /// heterogeneous quantization, transformer workloads (pair with
-    /// `lumos_xformer::extract_transformer_workloads`), and other
-    /// custom traffic schedules
-    /// (pair with [`lumos_dnn::quantization::extract_quantized_workloads`]).
+    /// custom traffic schedules. Pair it with
+    /// [`lumos_dnn::quantization::extract_quantized_workloads`] for
+    /// heterogeneous quantization, or with
+    /// `lumos_xformer::extract_transformer_workloads` for transformer
+    /// workloads.
     ///
     /// # Errors
     ///
@@ -106,14 +108,52 @@ impl Runner {
         model_name: &str,
         workloads: &[lumos_dnn::LayerWorkload],
     ) -> Result<RunReport, CoreError> {
+        self.run_workloads_scaled(
+            platform,
+            model_name,
+            workloads,
+            &ContentionModel::uncontended(),
+        )
+    }
+
+    /// [`Runner::run_workloads`] under a [`ContentionModel`] — the
+    /// multi-tenant hook `lumos_serve` uses to time-share the platform
+    /// between concurrently resident layer streams.
+    ///
+    /// Each [`PlacementShare`](crate::mapper::PlacementShare) executes
+    /// on its class's allocated unit fraction (its compute span dilates
+    /// by the inverse share; active MAC energy is conserved because the
+    /// same work runs on fewer units for longer), and every
+    /// interposer/memory link is derated to the allocated bandwidth
+    /// fraction. With [`ContentionModel::uncontended`] this is exactly
+    /// [`Runner::run_workloads`].
+    ///
+    /// The report still charges the *whole* platform's static power to
+    /// the stream (a single-tenant view); a serving layer accounting
+    /// energy across tenants should use the uncontended run's energy,
+    /// which time-sharing conserves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runner::run`], plus [`CoreError::BadConfig`] for
+    /// shares outside `(0, 1]`.
+    pub fn run_workloads_scaled(
+        &self,
+        platform: &Platform,
+        model_name: &str,
+        workloads: &[lumos_dnn::LayerWorkload],
+        contention: &ContentionModel,
+    ) -> Result<RunReport, CoreError> {
         self.cfg.validate()?;
+        contention.validate()?;
+        let bw_share = contention.bandwidth_share();
         let calib = &self.cfg.calibration;
-        let mut backend = self.build_backend(platform)?;
+        let mut backend = self.build_backend(platform, contention)?;
 
         // Unit models and per-class unit counts (scaled for monolithic).
         let scale = |n: usize| -> usize {
             if matches!(platform, Platform::Monolithic) {
-                ((n as f64 * calib.mono_unit_scale).round() as usize).max(1)
+                calib.mono_units(n)
             } else {
                 n
             }
@@ -141,10 +181,14 @@ impl Runner {
             for share in &placement.shares {
                 let unit = MacUnit::new(share.class, calib);
                 let units = scale(share.units);
-                let share_s = unit.compute_seconds(share.passes, units);
+                // Contention: only `alloc` of the class's units serve
+                // this stream, so the span dilates by 1/alloc while the
+                // unit-seconds (energy, idle correction) are invariant.
+                let alloc = contention.unit_share(share.class);
+                let share_s = unit.compute_seconds(share.passes, units) / alloc;
                 compute_s = compute_s.max(share_s);
-                mac_active_j += unit.active_energy_j(units, share_s);
-                active_idle_correction_j += unit.idle_power_w() * units as f64 * share_s;
+                mac_active_j += unit.active_energy_j(units, share_s) * alloc;
+                active_idle_correction_j += unit.idle_power_w() * units as f64 * alloc * share_s;
             }
             let n_shards = placement.chiplets.len() as u64;
             let weight_shard = w.weight_bits.div_ceil(n_shards);
@@ -162,7 +206,7 @@ impl Runner {
                     // provisioned to finish within a margin of their
                     // compute time (this is what deactivates gateways on
                     // small models like LeNet5).
-                    let gw_bps = self.cfg.phnet.gateway_rate_gbps() * 1e9;
+                    let gw_bps = self.cfg.phnet.gateway_rate_gbps() * bw_share * 1e9;
                     let epoch_bits = gw_bps * self.cfg.phnet.epoch_us as f64 * 1e-6;
                     let burst_bps = self.cfg.phnet.gateways_per_chiplet as f64 * gw_bps;
                     let est = (compute_s * calib.comm_overlap_margin).max(1e-6);
@@ -388,17 +432,32 @@ impl Runner {
             .collect()
     }
 
-    fn build_backend(&self, platform: &Platform) -> Result<Backend, CoreError> {
+    fn build_backend(
+        &self,
+        platform: &Platform,
+        contention: &ContentionModel,
+    ) -> Result<Backend, CoreError> {
         let calib = &self.cfg.calibration;
+        // Time-shared links: this stream sees `bw` of every link's rate
+        // (per-wavelength optical rate, mesh link clock, HBM channel
+        // rate, monolithic bus). At bw = 1.0 every rate is untouched.
+        let bw = contention.bandwidth_share();
+        let mut hbm_cfg = self.cfg.hbm;
+        hbm_cfg.channel_rate_gbps *= bw;
         Ok(match platform {
-            Platform::Siph2p5D => Backend::Siph {
-                net: Box::new(PhotonicInterposer::new(self.cfg.phnet.clone())?),
-                hbm: HbmStack::new(self.cfg.hbm),
-            },
+            Platform::Siph2p5D => {
+                let mut phnet_cfg = self.cfg.phnet.clone();
+                phnet_cfg.rate_gbps *= bw;
+                Backend::Siph {
+                    net: Box::new(PhotonicInterposer::new(phnet_cfg)?),
+                    hbm: HbmStack::new(hbm_cfg),
+                }
+            }
             Platform::Elec2p5D => {
                 // 3×3 mesh: memory at the centre, compute chiplets around
-                // it in id order (Fig. 3's floorplan).
-                let net = MeshNetwork::paper_table1(3, 3, calib.hop_mm_2p5d);
+                // it in id order (Fig. 3's floorplan); the stream sees
+                // its bandwidth share as a derated link clock.
+                let net = MeshNetwork::paper_table1_scaled(3, 3, calib.hop_mm_2p5d, bw);
                 let mem = Coord::new(1, 1);
                 let positions: Vec<Coord> = (0..3u32)
                     .flat_map(|y| (0..3u32).map(move |x| Coord::new(x, y)))
@@ -414,15 +473,15 @@ impl Runner {
                 }
                 Backend::Elec {
                     net: Box::new(net),
-                    hbm: HbmStack::new(self.cfg.hbm),
+                    hbm: HbmStack::new(hbm_cfg),
                     mem,
                     positions,
                     packet_bits: calib.elec_packet_bits,
                 }
             }
             Platform::Monolithic => Backend::Mono {
-                bus: BandwidthServer::new(calib.mono_mem_gbps),
-                hbm: HbmStack::new(self.cfg.hbm),
+                bus: BandwidthServer::new(calib.mono_mem_gbps * bw),
+                hbm: HbmStack::new(hbm_cfg),
             },
         })
     }
@@ -452,8 +511,12 @@ mod tests {
     #[test]
     fn siph_beats_elec_on_large_models() {
         let r = runner();
-        let siph = r.run(&Platform::Siph2p5D, &zoo::resnet50()).unwrap();
-        let elec = r.run(&Platform::Elec2p5D, &zoo::resnet50()).unwrap();
+        let siph = r
+            .run(&Platform::Siph2p5D, &zoo::resnet50())
+            .expect("resnet50 runs on 2.5D-SiPh");
+        let elec = r
+            .run(&Platform::Elec2p5D, &zoo::resnet50())
+            .expect("resnet50 runs on 2.5D-Elec");
         assert!(
             siph.total_latency < elec.total_latency,
             "siph {} vs elec {}",
@@ -465,8 +528,12 @@ mod tests {
     #[test]
     fn siph_beats_mono_on_large_models() {
         let r = runner();
-        let siph = r.run(&Platform::Siph2p5D, &zoo::vgg16()).unwrap();
-        let mono = r.run(&Platform::Monolithic, &zoo::vgg16()).unwrap();
+        let siph = r
+            .run(&Platform::Siph2p5D, &zoo::vgg16())
+            .expect("vgg16 runs on 2.5D-SiPh");
+        let mono = r
+            .run(&Platform::Monolithic, &zoo::vgg16())
+            .expect("vgg16 runs on monolithic CrossLight");
         assert!(siph.total_latency < mono.total_latency);
     }
 
@@ -475,8 +542,12 @@ mod tests {
         // Paper §VI: for very small models the 2.5D photonic overheads
         // dominate and monolithic wins.
         let r = runner();
-        let siph = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
-        let mono = r.run(&Platform::Monolithic, &zoo::lenet5()).unwrap();
+        let siph = r
+            .run(&Platform::Siph2p5D, &zoo::lenet5())
+            .expect("lenet5 runs on 2.5D-SiPh");
+        let mono = r
+            .run(&Platform::Monolithic, &zoo::lenet5())
+            .expect("lenet5 runs on monolithic CrossLight");
         assert!(
             mono.epb_nj() < siph.epb_nj(),
             "mono EPB {} should beat siph {} on LeNet5",
@@ -488,7 +559,9 @@ mod tests {
     #[test]
     fn layer_reports_are_causal() {
         let r = runner();
-        let report = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
+        let report = r
+            .run(&Platform::Siph2p5D, &zoo::lenet5())
+            .expect("lenet5 runs on 2.5D-SiPh");
         let mut last = SimTime::ZERO;
         for l in &report.layers {
             assert!(
@@ -505,7 +578,9 @@ mod tests {
     #[test]
     fn energy_breakdown_components_positive() {
         let r = runner();
-        let report = r.run(&Platform::Siph2p5D, &zoo::densenet121()).unwrap();
+        let report = r
+            .run(&Platform::Siph2p5D, &zoo::densenet121())
+            .expect("densenet121 runs on 2.5D-SiPh");
         assert!(report.energy.mac_j > 0.0);
         assert!(report.energy.network_j > 0.0);
         assert!(report.energy.memory_j > 0.0);
@@ -517,7 +592,9 @@ mod tests {
         use lumos_dnn::workload::{extract_workloads, totals, Precision};
         let r = runner();
         let model = zoo::mobilenet_v2();
-        let report = r.run(&Platform::Monolithic, &model).unwrap();
+        let report = r
+            .run(&Platform::Monolithic, &model)
+            .expect("mobilenet_v2 runs on monolithic CrossLight");
         let t = totals(&extract_workloads(&model, Precision::int8()));
         assert_eq!(report.bits_moved, t.total_bits);
     }
@@ -526,8 +603,12 @@ mod tests {
     fn batching_amortizes_weight_traffic() {
         let r = runner();
         let model = zoo::vgg16(); // weight-dominated
-        let single = r.run(&Platform::Siph2p5D, &model).unwrap();
-        let batched = r.run_batch(&Platform::Siph2p5D, &model, 4).unwrap();
+        let single = r
+            .run(&Platform::Siph2p5D, &model)
+            .expect("vgg16 runs on 2.5D-SiPh");
+        let batched = r
+            .run_batch(&Platform::Siph2p5D, &model, 4)
+            .expect("vgg16 batch-4 runs on 2.5D-SiPh");
         // Weights counted once: traffic grows by less than 4x.
         assert!(batched.bits_moved < 4 * single.bits_moved);
         // Throughput improves: batch-4 latency < 4x single latency.
@@ -544,10 +625,12 @@ mod tests {
     #[test]
     fn batch_one_equals_single_run() {
         let r = runner();
-        let single = r.run(&Platform::Monolithic, &zoo::lenet5()).unwrap();
+        let single = r
+            .run(&Platform::Monolithic, &zoo::lenet5())
+            .expect("lenet5 runs on monolithic CrossLight");
         let batch1 = r
             .run_batch(&Platform::Monolithic, &zoo::lenet5(), 1)
-            .unwrap();
+            .expect("lenet5 batch-1 runs on monolithic CrossLight");
         assert_eq!(single.total_latency, batch1.total_latency);
         assert_eq!(single.bits_moved, batch1.bits_moved);
     }
@@ -555,7 +638,9 @@ mod tests {
     #[test]
     fn csv_trace_lists_all_layers() {
         let r = runner();
-        let report = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
+        let report = r
+            .run(&Platform::Siph2p5D, &zoo::lenet5())
+            .expect("lenet5 runs on 2.5D-SiPh");
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), 1 + report.layers.len());
@@ -571,8 +656,8 @@ mod tests {
         cfg.calibration.prefetch_weights = true;
         let pre = Runner::new(cfg);
         for p in Platform::all() {
-            let without = base.run(&p, &model).unwrap();
-            let with = pre.run(&p, &model).unwrap();
+            let without = base.run(&p, &model).expect("vgg16 runs without prefetch");
+            let with = pre.run(&p, &model).expect("vgg16 runs with prefetch");
             assert!(
                 with.total_latency <= without.total_latency,
                 "{p}: prefetch regressed {} -> {}",
@@ -582,8 +667,12 @@ mod tests {
         }
         // The packetized electrical platform is weight-stream bound on
         // VGG16's FC layers; prefetch must buy a visible win there.
-        let without = base.run(&Platform::Elec2p5D, &model).unwrap();
-        let with = pre.run(&Platform::Elec2p5D, &model).unwrap();
+        let without = base
+            .run(&Platform::Elec2p5D, &model)
+            .expect("vgg16 runs on 2.5D-Elec without prefetch");
+        let with = pre
+            .run(&Platform::Elec2p5D, &model)
+            .expect("vgg16 runs on 2.5D-Elec with prefetch");
         assert!(
             with.latency_ms() < 0.98 * without.latency_ms(),
             "prefetch should overlap FC weight streams: {} vs {}",
@@ -625,10 +714,119 @@ mod tests {
     }
 
     #[test]
+    fn uncontended_scaled_run_matches_plain_run() {
+        // `run_workloads` delegates to the scaled path, so the equality
+        // below only proves the delegation is consistent; the golden
+        // latencies pin the *pre-contention-refactor* runner behavior
+        // (the quickstart reference numbers) so a share-1.0 multiply
+        // that stops being an exact identity cannot slip through.
+        let golden_ms = [
+            (Platform::Monolithic, 7.823),
+            (Platform::Elec2p5D, 34.984),
+            (Platform::Siph2p5D, 1.068),
+        ];
+        let r = runner();
+        let work = extract_workloads(&zoo::resnet50(), r.config().precision);
+        for (p, expected_ms) in golden_ms {
+            let plain = r
+                .run_workloads(&p, "resnet50", &work)
+                .expect("resnet50 plain run");
+            let scaled = r
+                .run_workloads_scaled(&p, "resnet50", &work, &ContentionModel::uncontended())
+                .expect("resnet50 uncontended scaled run");
+            assert_eq!(plain.total_latency, scaled.total_latency, "{p}");
+            assert_eq!(plain.energy, scaled.energy, "{p}");
+            assert_eq!(plain.bits_moved, scaled.bits_moved, "{p}");
+            assert!(
+                (scaled.latency_ms() - expected_ms).abs() < 5e-4,
+                "{p}: {} ms drifted from the pre-refactor {expected_ms} ms",
+                scaled.latency_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn half_share_dilates_latency_but_bounds_at_double() {
+        let r = runner();
+        let work = extract_workloads(&zoo::resnet50(), r.config().precision);
+        let half = ContentionModel::of_resident_streams(2);
+        for p in Platform::all() {
+            let full = r
+                .run_workloads(&p, "resnet50", &work)
+                .expect("resnet50 full-platform run");
+            let shared = r
+                .run_workloads_scaled(&p, "resnet50", &work, &half)
+                .expect("resnet50 half-share run");
+            assert!(
+                shared.total_latency > full.total_latency,
+                "{p}: half a platform must be slower"
+            );
+            // Per-layer overheads and conversion latencies do not scale,
+            // so halving every rate at most doubles the latency.
+            assert!(
+                shared.total_latency.as_secs_f64() <= 2.0 * full.total_latency.as_secs_f64() + 1e-9,
+                "{p}: {} vs 2x {}",
+                shared.total_latency,
+                full.total_latency
+            );
+            assert_eq!(shared.bits_moved, full.bits_moved, "{p}: traffic conserved");
+        }
+    }
+
+    #[test]
+    fn contention_conserves_active_mac_energy() {
+        // The same passes run on a quarter of the units for 4x as long:
+        // active MAC energy (work x power) must not change. Compare on
+        // a compute-bound model where the MAC term dominates.
+        let r = runner();
+        let work = extract_workloads(&zoo::vgg16(), r.config().precision);
+        let full = r
+            .run_workloads(&Platform::Siph2p5D, "vgg16", &work)
+            .expect("vgg16 full-platform run");
+        let quarter = r
+            .run_workloads_scaled(
+                &Platform::Siph2p5D,
+                "vgg16",
+                &work,
+                &ContentionModel::of_resident_streams(4),
+            )
+            .expect("vgg16 quarter-share run");
+        // mac_j also folds in idle energy over the (longer) run, so
+        // compare loosely: the active component is invariant, the idle
+        // component grows at most with the latency dilation.
+        assert!(quarter.energy.mac_j >= full.energy.mac_j);
+        assert!(
+            quarter.energy.mac_j
+                <= full.energy.mac_j
+                    * (quarter.total_latency.as_secs_f64() / full.total_latency.as_secs_f64())
+                    + 1e-9
+        );
+    }
+
+    #[test]
+    fn invalid_contention_shares_rejected() {
+        let r = runner();
+        let work = extract_workloads(&zoo::lenet5(), r.config().precision);
+        let err = r
+            .run_workloads_scaled(
+                &Platform::Siph2p5D,
+                "lenet5",
+                &work,
+                &ContentionModel::uniform(0.0),
+            )
+            .expect_err("zero share must be rejected");
+        assert!(err.to_string().contains("share"));
+    }
+
+    #[test]
     fn deterministic_runs() {
         let r = runner();
-        let a = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
-        let b = r.run(&Platform::Siph2p5D, &zoo::lenet5()).unwrap();
+        let a = r
+            .run(&Platform::Siph2p5D, &zoo::lenet5())
+            .expect("lenet5 first run on 2.5D-SiPh");
+        let b = r
+            .run(&Platform::Siph2p5D, &zoo::lenet5())
+            .expect("lenet5 second run on 2.5D-SiPh");
         assert_eq!(a.total_latency, b.total_latency);
         assert_eq!(a.energy, b.energy);
     }

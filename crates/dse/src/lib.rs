@@ -15,8 +15,9 @@
 //! * [`hash`] — the unkeyed [`StableHasher`] those fingerprints are
 //!   built with;
 //! * [`point`] — the shared sweep vocabulary ([`DseAxes`] grids,
-//!   [`DsePoint`], [`DseMetrics`], and the [`XformerAxes`]
-//!   transformer-scenario grids);
+//!   [`DsePoint`], [`DseMetrics`], the [`XformerAxes`]
+//!   transformer-scenario grids, and the [`ServeAxes`] serving grids
+//!   with their [`ServePolicy`] scheduling vocabulary);
 //! * [`pareto`] — frontier extraction and successive-halving axis
 //!   refinement around the frontier.
 //!
@@ -60,4 +61,4 @@ pub use cache::{MemoCache, CACHE_DIR_ENV, DEFAULT_CACHE_DIR};
 pub use hash::StableHasher;
 pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
-pub use point::{DseAxes, DseMetrics, DsePoint, XformerAxes};
+pub use point::{DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, XformerAxes};

@@ -247,6 +247,123 @@ impl XformerAxes {
     }
 }
 
+/// Admission-scheduling policies of the `lumos_serve` multi-model
+/// serving simulator.
+///
+/// Pure data here (like the grids above) so sweep axes and cache
+/// fingerprints can name a policy without pulling in the serving
+/// machinery; `lumos_serve` implements the actual schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServePolicy {
+    /// Globally earliest arrival first, across all models.
+    Fifo,
+    /// Rotate over the per-model queues, one admission each.
+    RoundRobin,
+    /// Admit the queued request with the shortest isolated service time.
+    ShortestJob,
+    /// Earliest-deadline-first against each model's latency SLO.
+    SloAware,
+}
+
+impl ServePolicy {
+    /// All policies, in fingerprint-tag order.
+    pub fn all() -> [ServePolicy; 4] {
+        [
+            ServePolicy::Fifo,
+            ServePolicy::RoundRobin,
+            ServePolicy::ShortestJob,
+            ServePolicy::SloAware,
+        ]
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServePolicy::Fifo => "fifo",
+            ServePolicy::RoundRobin => "round-robin",
+            ServePolicy::ShortestJob => "sjf",
+            ServePolicy::SloAware => "slo-edf",
+        }
+    }
+
+    /// Stable discriminant for cache fingerprints (never reorder).
+    pub fn tag(self) -> u64 {
+        match self {
+            ServePolicy::Fifo => 0,
+            ServePolicy::RoundRobin => 1,
+            ServePolicy::ShortestJob => 2,
+            ServePolicy::SloAware => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for ServePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The serving sweep grid: offered-load multipliers × scheduling
+/// policies.
+///
+/// [`DseAxes`] describes the *platform* and [`XformerAxes`] the
+/// *workload shape*; these axes describe the *traffic* — the knobs a
+/// capacity planner turns. Load scales multiply every model's base
+/// arrival rate in the mix, so `1.0` is the mix as configured and the
+/// axis walks the saturation curve. Platforms are swept by the caller
+/// (`lumos_serve::dse::sweep`), which takes a platform list alongside
+/// these axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeAxes {
+    /// Multipliers applied to every model's offered arrival rate.
+    pub load_scales: Vec<f64>,
+    /// Scheduling policies to try.
+    pub policies: Vec<ServePolicy>,
+}
+
+impl ServeAxes {
+    /// Load axis of the `serving` example grid.
+    pub const EXAMPLE_LOADS: &'static [f64] = &[0.25, 0.5, 1.0, 2.0, 3.0];
+    /// Load axis of the `serving_sweep` bench grid.
+    pub const SWEEP_LOADS: &'static [f64] = &[0.5, 1.0, 2.0];
+
+    /// Builds axes from borrowed slices (the `const`-friendly form).
+    pub fn from_slices(load_scales: &[f64], policies: &[ServePolicy]) -> Self {
+        ServeAxes {
+            load_scales: load_scales.to_vec(),
+            policies: policies.to_vec(),
+        }
+    }
+
+    /// The `serving` example grid: 5 load points under FIFO.
+    pub fn example_grid() -> Self {
+        Self::from_slices(Self::EXAMPLE_LOADS, &[ServePolicy::Fifo])
+    }
+
+    /// The `serving_sweep` bench grid: 3 load points × all 4 policies.
+    pub fn bench_grid() -> Self {
+        Self::from_slices(Self::SWEEP_LOADS, &ServePolicy::all())
+    }
+
+    /// Number of grid points (the cartesian product of the axes).
+    pub fn len(&self) -> usize {
+        self.load_scales.len() * self.policies.len()
+    }
+
+    /// Whether the grid is empty (either axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the grid in sweep order: load scales outermost,
+    /// policies innermost — the order every serving sweep reports in.
+    pub fn points(&self) -> impl Iterator<Item = (f64, ServePolicy)> + '_ {
+        self.load_scales
+            .iter()
+            .flat_map(move |&l| self.policies.iter().map(move |&p| (l, p)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +405,32 @@ mod tests {
         assert!(!a.is_empty());
         assert_eq!(XformerAxes::example_grid().len(), 4);
         assert_eq!(XformerAxes::bench_grid().len(), 8);
+    }
+
+    #[test]
+    fn serve_axes_iterate_in_sweep_order() {
+        let a = ServeAxes::from_slices(&[0.5, 1.0], &[ServePolicy::Fifo, ServePolicy::SloAware]);
+        let pts: Vec<(f64, ServePolicy)> = a.points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                (0.5, ServePolicy::Fifo),
+                (0.5, ServePolicy::SloAware),
+                (1.0, ServePolicy::Fifo),
+                (1.0, ServePolicy::SloAware),
+            ]
+        );
+        assert_eq!(pts.len(), a.len());
+        assert!(!a.is_empty());
+        assert_eq!(ServeAxes::example_grid().len(), 5);
+        assert_eq!(ServeAxes::bench_grid().len(), 12);
+    }
+
+    #[test]
+    fn serve_policy_tags_are_distinct_and_stable() {
+        let tags: Vec<u64> = ServePolicy::all().iter().map(|p| p.tag()).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+        assert_eq!(ServePolicy::SloAware.to_string(), "slo-edf");
     }
 
     #[test]

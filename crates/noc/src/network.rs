@@ -77,11 +77,19 @@ impl MeshNetwork {
     /// A `cols × rows` mesh with the paper's Table 1 link/router models
     /// and `hop_mm` millimetres of wire per hop.
     pub fn paper_table1(cols: u32, rows: u32, hop_mm: f64) -> Self {
-        MeshNetwork::new(
-            Mesh::new(cols, rows),
-            LinkModel::paper_table1(hop_mm),
-            RouterModel::paper_table1(),
-        )
+        Self::paper_table1_scaled(cols, rows, hop_mm, 1.0)
+    }
+
+    /// [`MeshNetwork::paper_table1`] with the link clock (and therefore
+    /// every link's bandwidth) scaled by `frequency_scale` — the
+    /// derating hook a time-shared tenant uses to see its fair slice of
+    /// the mesh. Hop latencies (wire, SerDes, router pipeline) are
+    /// unaffected. A scale of exactly `1.0` is the unscaled mesh
+    /// bit-for-bit.
+    pub fn paper_table1_scaled(cols: u32, rows: u32, hop_mm: f64, frequency_scale: f64) -> Self {
+        let mut link = LinkModel::paper_table1(hop_mm);
+        link.frequency_ghz *= frequency_scale;
+        MeshNetwork::new(Mesh::new(cols, rows), link, RouterModel::paper_table1())
     }
 
     /// The underlying mesh.
@@ -299,6 +307,30 @@ mod tests {
 
     fn net() -> MeshNetwork {
         MeshNetwork::paper_table1(3, 3, 8.0)
+    }
+
+    #[test]
+    fn frequency_scaling_derates_bandwidth_only() {
+        let full = net();
+        let unit = MeshNetwork::paper_table1_scaled(3, 3, 8.0, 1.0);
+        assert_eq!(
+            full.link_model.bandwidth_gbps(),
+            unit.link_model.bandwidth_gbps()
+        );
+        let half = MeshNetwork::paper_table1_scaled(3, 3, 8.0, 0.5);
+        assert_eq!(
+            half.link_model.bandwidth_gbps(),
+            0.5 * full.link_model.bandwidth_gbps()
+        );
+        // Latency components are untouched by the derating.
+        assert_eq!(
+            half.link_model.packet_hop_latency(),
+            full.link_model.packet_hop_latency()
+        );
+        assert_eq!(
+            half.router_model.hop_latency(),
+            full.router_model.hop_latency()
+        );
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Serving configuration: the model mix and the traffic/scheduling
+//! knobs of one open-loop simulation.
+
+use lumos_core::{Platform, PlatformConfig};
+use lumos_dnn::workload::Precision;
+use lumos_dnn::{extract_workloads, LayerWorkload, Model};
+use lumos_dse::ServePolicy;
+use lumos_xformer::TransformerConfig;
+
+use crate::error::ServeError;
+
+/// One registered model in the serving mix: its lowered layer stream
+/// plus its traffic contract (offered arrival rate and latency SLO).
+///
+/// # Examples
+///
+/// ```
+/// use lumos_dnn::workload::Precision;
+/// use lumos_serve::ServedModel;
+///
+/// let resnet = ServedModel::cnn(&lumos_dnn::zoo::resnet50(), Precision::int8(), 200.0, 10.0);
+/// assert_eq!(resnet.name, "resnet50");
+/// assert!(resnet.workloads.len() > 50);
+/// let bert = ServedModel::transformer(
+///     &lumos_xformer::zoo::bert_base(),
+///     128,
+///     4,
+///     Precision::int8(),
+///     50.0,
+///     50.0,
+/// );
+/// assert!(bert.name.contains("bert"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedModel {
+    /// Display name (also the per-model report label).
+    pub name: String,
+    /// The lowered layer stream one request executes.
+    pub workloads: Vec<LayerWorkload>,
+    /// Offered arrival rate at load scale 1.0, requests per second.
+    pub rate_rps: f64,
+    /// Latency service-level objective, milliseconds (the deadline the
+    /// SLO-aware policy schedules against, and the attainment target
+    /// the report scores).
+    pub slo_ms: f64,
+}
+
+impl ServedModel {
+    /// Registers a pre-extracted workload sequence.
+    pub fn from_workloads(
+        name: impl Into<String>,
+        workloads: Vec<LayerWorkload>,
+        rate_rps: f64,
+        slo_ms: f64,
+    ) -> Self {
+        ServedModel {
+            name: name.into(),
+            workloads,
+            rate_rps,
+            slo_ms,
+        }
+    }
+
+    /// Registers a CNN from the Table 2 zoo (or any layer graph),
+    /// lowered at `precision`.
+    pub fn cnn(model: &Model, precision: Precision, rate_rps: f64, slo_ms: f64) -> Self {
+        Self::from_workloads(
+            model.name(),
+            extract_workloads(model, precision),
+            rate_rps,
+            slo_ms,
+        )
+    }
+
+    /// Registers a transformer scenario (architecture at a sequence
+    /// length and batch size), lowered at `precision`.
+    pub fn transformer(
+        model: &TransformerConfig,
+        seq_len: u32,
+        batch: u32,
+        precision: Precision,
+        rate_rps: f64,
+        slo_ms: f64,
+    ) -> Self {
+        Self::from_workloads(
+            lumos_xformer::dse::scenario_label(model, seq_len, batch),
+            lumos_xformer::extract_transformer_workloads(model, seq_len, batch, precision),
+            rate_rps,
+            slo_ms,
+        )
+    }
+
+    /// Checks the model is servable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] naming the violated field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workloads.is_empty() {
+            return Err(ServeError::BadConfig {
+                reason: format!("model {} has no workloads", self.name),
+            });
+        }
+        if !(self.rate_rps.is_finite() && self.rate_rps >= 0.0) {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "model {} rate {} not a finite rate",
+                    self.name, self.rate_rps
+                ),
+            });
+        }
+        if !(self.slo_ms.is_finite() && self.slo_ms > 0.0) {
+            return Err(ServeError::BadConfig {
+                reason: format!("model {} SLO {} not positive", self.name, self.slo_ms),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Full configuration of one open-loop serving simulation.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_core::{Platform, PlatformConfig};
+/// use lumos_dnn::workload::Precision;
+/// use lumos_serve::{ServeConfig, ServedModel, ServePolicy};
+///
+/// let cfg = ServeConfig::new(
+///     PlatformConfig::paper_table1(),
+///     Platform::Siph2p5D,
+///     vec![ServedModel::cnn(&lumos_dnn::zoo::lenet5(), Precision::int8(), 100.0, 5.0)],
+/// )
+/// .with_policy(ServePolicy::SloAware)
+/// .with_duration_s(0.25)
+/// .with_seed(7);
+/// cfg.validate().expect("consistent serving config");
+/// assert_eq!(cfg.offered_rps(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The shared platform every stream executes on.
+    pub platform_cfg: PlatformConfig,
+    /// Which platform organization to serve from.
+    pub platform: Platform,
+    /// The registered model mix.
+    pub models: Vec<ServedModel>,
+    /// Admission-scheduling policy.
+    pub policy: ServePolicy,
+    /// Simulated horizon, seconds: arrivals are generated over
+    /// `[0, duration_s)` and the simulation hard-stops at the horizon
+    /// (requests still queued or in flight count as arrived, not
+    /// served).
+    pub duration_s: f64,
+    /// Arrival-process seed (same seed ⇒ bit-identical report).
+    pub seed: u64,
+    /// Resident streams time-sharing the platform at once; queued
+    /// requests wait for a slot. Also the deepest contention level the
+    /// service profile is built for.
+    pub max_concurrency: usize,
+    /// Multiplier on every model's `rate_rps` — the offered-load knob a
+    /// saturation sweep turns.
+    pub load_scale: f64,
+}
+
+impl ServeConfig {
+    /// A serving configuration with the default knobs: FIFO scheduling,
+    /// a 1-second horizon, seed 42, 4 resident streams, load scale 1.
+    pub fn new(platform_cfg: PlatformConfig, platform: Platform, models: Vec<ServedModel>) -> Self {
+        ServeConfig {
+            platform_cfg,
+            platform,
+            models,
+            policy: ServePolicy::Fifo,
+            duration_s: 1.0,
+            seed: 42,
+            max_concurrency: 4,
+            load_scale: 1.0,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: ServePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn with_duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the arrival seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the platform organization.
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the resident-stream cap.
+    pub fn with_max_concurrency(mut self, max_concurrency: usize) -> Self {
+        self.max_concurrency = max_concurrency;
+        self
+    }
+
+    /// Sets the offered-load multiplier.
+    pub fn with_load_scale(mut self, load_scale: f64) -> Self {
+        self.load_scale = load_scale;
+        self
+    }
+
+    /// Aggregate offered arrival rate at the configured load scale,
+    /// requests per second.
+    pub fn offered_rps(&self) -> f64 {
+        self.models.iter().map(|m| m.rate_rps).sum::<f64>() * self.load_scale
+    }
+
+    /// Checks internal consistency (platform config, model mix, traffic
+    /// knobs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] (or a wrapped
+    /// [`lumos_core::CoreError`]) describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.platform_cfg.validate()?;
+        if self.models.is_empty() {
+            return Err(ServeError::BadConfig {
+                reason: "model mix is empty".into(),
+            });
+        }
+        for m in &self.models {
+            m.validate()?;
+        }
+        if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
+            return Err(ServeError::BadConfig {
+                reason: format!("duration {} not positive", self.duration_s),
+            });
+        }
+        if self.max_concurrency == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "need at least one resident stream".into(),
+            });
+        }
+        if !(self.load_scale.is_finite() && self.load_scale > 0.0) {
+            return Err(ServeError::BadConfig {
+                reason: format!("load scale {} not positive", self.load_scale),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_dnn::zoo;
+
+    fn lenet_mix() -> Vec<ServedModel> {
+        vec![ServedModel::cnn(
+            &zoo::lenet5(),
+            Precision::int8(),
+            50.0,
+            5.0,
+        )]
+    }
+
+    #[test]
+    fn builder_knobs_stick() {
+        let cfg = ServeConfig::new(
+            PlatformConfig::paper_table1(),
+            Platform::Elec2p5D,
+            lenet_mix(),
+        )
+        .with_policy(ServePolicy::RoundRobin)
+        .with_duration_s(0.5)
+        .with_seed(9)
+        .with_max_concurrency(2)
+        .with_load_scale(2.0)
+        .with_platform(Platform::Siph2p5D);
+        assert_eq!(cfg.policy, ServePolicy::RoundRobin);
+        assert_eq!(cfg.duration_s, 0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.max_concurrency, 2);
+        assert_eq!(cfg.platform, Platform::Siph2p5D);
+        assert_eq!(cfg.offered_rps(), 100.0);
+        cfg.validate().expect("valid");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let base = ServeConfig::new(
+            PlatformConfig::paper_table1(),
+            Platform::Siph2p5D,
+            lenet_mix(),
+        );
+        assert!(base.clone().with_duration_s(0.0).validate().is_err());
+        assert!(base.clone().with_max_concurrency(0).validate().is_err());
+        assert!(base.clone().with_load_scale(-1.0).validate().is_err());
+        let mut empty = base.clone();
+        empty.models.clear();
+        assert!(empty.validate().is_err());
+        let mut bad_rate = base.clone();
+        bad_rate.models[0].rate_rps = f64::NAN;
+        assert!(bad_rate.validate().is_err());
+        let mut bad_slo = base;
+        bad_slo.models[0].slo_ms = 0.0;
+        assert!(bad_slo.validate().is_err());
+    }
+}

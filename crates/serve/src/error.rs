@@ -1,0 +1,62 @@
+//! Serving-simulator errors.
+
+use std::fmt;
+
+use lumos_core::CoreError;
+
+/// Everything that can go wrong assembling or running a serving
+/// simulation.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An inconsistent [`ServeConfig`](crate::config::ServeConfig).
+    BadConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The platform simulator rejected a profile run (bad platform
+    /// configuration, infeasible photonics, unmappable layer).
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig { reason } => {
+                write!(f, "bad serving configuration: {reason}")
+            }
+            ServeError::Core(e) => write!(f, "platform simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_cause() {
+        let e = ServeError::BadConfig {
+            reason: "empty mix".into(),
+        };
+        assert!(e.to_string().contains("empty mix"));
+        let e = ServeError::from(CoreError::BadConfig {
+            reason: "nope".into(),
+        });
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,79 @@
+//! # lumos-serve — multi-model inference-serving simulator
+//!
+//! The paper evaluates one inference at a time; a serving fleet answers
+//! a different question: *how much traffic can one platform sustain
+//! when several models share it, and at what tail latency?* This crate
+//! turns the platform model into that capacity planner:
+//!
+//! * [`config`] — the served model mix ([`ServedModel`]: any CNN-zoo or
+//!   `lumos_xformer` workload stream plus an arrival rate and SLO) and
+//!   the traffic/scheduling knobs ([`ServeConfig`])
+//! * [`profile`] — per-model service times tabulated at every
+//!   contention level through
+//!   [`Runner::run_workloads_scaled`](lumos_core::runner::Runner::run_workloads_scaled)
+//! * [`sim`] — the open-loop discrete-event core ([`simulate`]):
+//!   seeded Poisson arrivals, pluggable admission policies
+//!   ([`ServePolicy`]: FIFO, round-robin, shortest-job-first,
+//!   SLO-aware earliest-deadline-first), and processor-sharing
+//!   contention — `k` resident streams each hold a `1/k` slice of
+//!   every MAC class and interposer link
+//! * [`report`] — [`ServeReport`]: per-model and aggregate throughput,
+//!   queueing delay and latency percentiles (p50/p95/p99 from exact
+//!   sorted samples), per-class utilization, power, energy per bit
+//! * [`dse`] — fingerprinted, memoized capacity sweeps over
+//!   [`ServeAxes`] (offered load × policy) × platform through the
+//!   `lumos_dse` engine
+//!
+//! Everything is deterministic: identical configurations (seed
+//! included) produce bit-identical reports.
+//!
+//! # Examples
+//!
+//! Where does the photonic platform saturate on a CNN + transformer
+//! mix?
+//!
+//! ```
+//! use lumos_core::{Platform, PlatformConfig};
+//! use lumos_dnn::workload::Precision;
+//! use lumos_serve::{simulate, ServeConfig, ServedModel};
+//!
+//! let mix = vec![
+//!     ServedModel::cnn(&lumos_dnn::zoo::lenet5(), Precision::int8(), 400.0, 5.0),
+//!     ServedModel::transformer(
+//!         &lumos_xformer::zoo::bert_base(),
+//!         128,
+//!         1,
+//!         Precision::int8(),
+//!         20.0,
+//!         50.0,
+//!     ),
+//! ];
+//! let cfg = ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+//!     .with_duration_s(0.05);
+//! let report = simulate(&cfg)?;
+//! assert!(report.total_served <= report.total_arrived);
+//! assert!(report.aggregate_latency.p50_ms <= report.aggregate_latency.p99_ms);
+//! # Ok::<(), lumos_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dse;
+pub mod error;
+pub mod profile;
+pub mod report;
+pub mod sim;
+
+pub use config::{ServeConfig, ServedModel};
+pub use dse::{serve_key, ServePoint};
+pub use error::ServeError;
+pub use profile::{build_profiles, ModelProfile, ServiceProfiles};
+pub use report::{ModelServeStats, Percentiles, ServeReport};
+pub use sim::{simulate, simulate_with_profiles};
+
+// The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
+// with fingerprints and grids); re-export it so serving callers need
+// one import.
+pub use lumos_dse::{ServeAxes, ServePolicy};

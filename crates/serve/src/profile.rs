@@ -1,0 +1,190 @@
+//! Per-model service profiles: what one request costs at every
+//! contention level.
+//!
+//! The serving simulator is a processor-sharing queue over whole layer
+//! streams: with `k` streams resident, each sees `1/k` of every MAC
+//! class and every link ([`ContentionModel::of_resident_streams`]).
+//! Rather than re-simulating a stream every time the residency changes,
+//! the profile tabulates each model's end-to-end latency at every
+//! contention level `1..=max_concurrency` up front through
+//! [`Runner::run_workloads_scaled`]; the event loop then advances each
+//! resident stream's remaining-work fraction at the rate the current
+//! residency implies.
+
+use lumos_core::contention::ContentionModel;
+use lumos_core::mac::MacUnit;
+use lumos_core::mapper::place;
+use lumos_core::{MacClass, Platform, Runner};
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+
+/// One model's tabulated cost at every contention level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// `service_s[k-1]`: end-to-end latency of one request when `k`
+    /// streams share the platform, seconds. Nondecreasing in `k`.
+    pub service_s: Vec<f64>,
+    /// Energy of one isolated request, joules (time-sharing conserves
+    /// the dynamic work; static power is accounted platform-wide).
+    pub energy_j: f64,
+    /// Bits one request moves across the memory/interposer interface.
+    pub bits: u64,
+    /// Pure compute demand per request in unit-seconds per MAC class
+    /// ([`MacClass::all`] order) — allocation-invariant, the numerator
+    /// of the report's utilization figures.
+    pub class_unit_seconds: [f64; 4],
+}
+
+impl ModelProfile {
+    /// Service time with `k` resident streams, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the profiled depth.
+    pub fn service_s(&self, k: usize) -> f64 {
+        self.service_s[k - 1]
+    }
+}
+
+/// The mix's profiles plus the platform-wide capacity denominators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceProfiles {
+    /// One profile per configured model, in mix order.
+    pub models: Vec<ModelProfile>,
+    /// Total MAC units per class ([`MacClass::all`] order), with the
+    /// monolithic unit scaling applied when that platform is profiled —
+    /// the denominator of utilization.
+    pub class_units: [f64; 4],
+}
+
+/// Builds the service profiles for `cfg` by running every model through
+/// the platform simulator at every contention level.
+///
+/// # Errors
+///
+/// Propagates validation failures and platform-simulation errors.
+pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> {
+    cfg.validate()?;
+    let runner = Runner::new(cfg.platform_cfg.clone());
+    let calib = &cfg.platform_cfg.calibration;
+    // The runner's own monolithic unit scaling, so utilization
+    // denominators match what actually executes.
+    let unit_scale = |n: usize| -> f64 {
+        if matches!(cfg.platform, Platform::Monolithic) {
+            calib.mono_units(n) as f64
+        } else {
+            n as f64
+        }
+    };
+
+    let mut models = Vec::with_capacity(cfg.models.len());
+    for m in &cfg.models {
+        let mut service_s = Vec::with_capacity(cfg.max_concurrency);
+        let mut energy_j = 0.0;
+        let mut bits = 0u64;
+        for k in 1..=cfg.max_concurrency {
+            let report = runner.run_workloads_scaled(
+                &cfg.platform,
+                &m.name,
+                &m.workloads,
+                &ContentionModel::of_resident_streams(k),
+            )?;
+            if k == 1 {
+                energy_j = report.energy.total_j();
+                bits = report.bits_moved;
+            }
+            service_s.push(report.total_latency.as_secs_f64());
+        }
+
+        let mut class_unit_seconds = [0.0f64; 4];
+        for w in &m.workloads {
+            let placement = place(&cfg.platform_cfg, w)?;
+            for share in &placement.shares {
+                let unit = MacUnit::new(share.class, calib);
+                // passes / rate = unit-seconds of demand, independent of
+                // how many units (or what fraction of them) execute it.
+                class_unit_seconds[share.class.index()] +=
+                    share.passes as f64 / unit.passes_per_second();
+            }
+        }
+
+        models.push(ModelProfile {
+            name: m.name.clone(),
+            service_s,
+            energy_j,
+            bits,
+            class_unit_seconds,
+        });
+    }
+
+    let mut class_units = [0.0f64; 4];
+    for &class in &MacClass::all() {
+        class_units[class.index()] = unit_scale(cfg.platform_cfg.class(class).total_units());
+    }
+
+    Ok(ServiceProfiles {
+        models,
+        class_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServedModel;
+    use lumos_core::PlatformConfig;
+    use lumos_dnn::workload::Precision;
+    use lumos_dnn::zoo;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig::new(
+            PlatformConfig::paper_table1(),
+            Platform::Siph2p5D,
+            vec![ServedModel::cnn(
+                &zoo::lenet5(),
+                Precision::int8(),
+                10.0,
+                5.0,
+            )],
+        )
+        .with_max_concurrency(3)
+    }
+
+    #[test]
+    fn service_times_grow_with_contention() {
+        let profiles = build_profiles(&cfg()).expect("lenet5 profiles on 2.5D-SiPh");
+        let p = &profiles.models[0];
+        assert_eq!(p.service_s.len(), 3);
+        for w in p.service_s.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "more contention must be slower: {:?}",
+                p.service_s
+            );
+        }
+        assert!(p.energy_j > 0.0 && p.bits > 0);
+        assert!(p.class_unit_seconds.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn isolated_service_matches_runner() {
+        let c = cfg();
+        let profiles = build_profiles(&c).expect("profiles");
+        let report = Runner::new(c.platform_cfg.clone())
+            .run_workloads(&c.platform, "lenet5", &c.models[0].workloads)
+            .expect("lenet5 runs on 2.5D-SiPh");
+        assert_eq!(
+            profiles.models[0].service_s(1),
+            report.total_latency.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn class_units_match_table1() {
+        let profiles = build_profiles(&cfg()).expect("profiles");
+        assert_eq!(profiles.class_units, [8.0, 8.0, 32.0, 132.0]);
+    }
+}

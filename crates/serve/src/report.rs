@@ -1,0 +1,182 @@
+//! Serving reports: per-model and aggregate traffic statistics.
+
+use lumos_core::{MacClass, Platform};
+use lumos_dse::{DseMetrics, ServePolicy};
+
+/// Latency summary from exact sorted samples (nearest-rank
+/// percentiles, no interpolation). All figures are milliseconds; an
+/// empty sample set reports zeros so reports stay `NaN`-free and
+/// comparable with `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// Smallest sample.
+    pub min_ms: f64,
+    /// 50th percentile (median).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl Percentiles {
+    /// Summarizes samples given in **seconds** (the simulator's unit),
+    /// reporting milliseconds. Sorts a copy; exact nearest-rank:
+    /// `p_q = sorted[ceil(q·n) - 1]`.
+    pub fn from_seconds(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let rank = |q: f64| -> f64 {
+            let n = sorted.len() as f64;
+            let idx = (q * n).ceil() as usize;
+            sorted[idx.max(1) - 1] * 1e3
+        };
+        Percentiles {
+            min_ms: sorted[0] * 1e3,
+            p50_ms: rank(0.50),
+            p95_ms: rank(0.95),
+            p99_ms: rank(0.99),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64 * 1e3,
+            max_ms: sorted[sorted.len() - 1] * 1e3,
+        }
+    }
+}
+
+/// One model's serving statistics over the simulated horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelServeStats {
+    /// Model name.
+    pub name: String,
+    /// Offered arrival rate (base rate × load scale), requests/second.
+    pub offered_rps: f64,
+    /// Requests that arrived inside the horizon.
+    pub arrived: u64,
+    /// Requests that completed inside the horizon.
+    pub served: u64,
+    /// Served throughput, requests/second.
+    pub throughput_rps: f64,
+    /// End-to-end latency (arrival → completion) of served requests.
+    pub latency: Percentiles,
+    /// Queueing delay (arrival → admission) of served requests.
+    pub queue_delay: Percentiles,
+    /// The model's latency SLO, milliseconds.
+    pub slo_ms: f64,
+    /// Fraction of served requests that met the SLO (1.0 when nothing
+    /// was served).
+    pub slo_attainment: f64,
+}
+
+/// The result of one open-loop serving simulation.
+///
+/// Everything is deterministic in the
+/// [`ServeConfig`](crate::config::ServeConfig): identical configurations
+/// (seed included) produce bit-identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Platform served from.
+    pub platform: Platform,
+    /// Scheduling policy used.
+    pub policy: ServePolicy,
+    /// Simulated horizon, seconds.
+    pub duration_s: f64,
+    /// Arrival seed.
+    pub seed: u64,
+    /// Offered-load multiplier.
+    pub load_scale: f64,
+    /// Resident-stream cap.
+    pub max_concurrency: usize,
+    /// Per-model statistics, in mix order.
+    pub models: Vec<ModelServeStats>,
+    /// Requests arrived across all models.
+    pub total_arrived: u64,
+    /// Requests served across all models.
+    pub total_served: u64,
+    /// Aggregate served throughput, requests/second.
+    pub aggregate_throughput_rps: f64,
+    /// Aggregate end-to-end latency over every served request.
+    pub aggregate_latency: Percentiles,
+    /// Compute-demand utilization per MAC class: served unit-seconds of
+    /// demand over available unit-seconds, in [`MacClass::all`] order.
+    pub class_utilization: [f64; 4],
+    /// Time-weighted mean number of resident streams.
+    pub mean_concurrency: f64,
+    /// Time-averaged power over the horizon from served requests'
+    /// energy, watts.
+    pub avg_power_w: f64,
+    /// Energy per served bit, nanojoules.
+    pub epb_nj: f64,
+}
+
+impl ServeReport {
+    /// Aggregate offered arrival rate, requests/second.
+    pub fn offered_rps(&self) -> f64 {
+        self.models.iter().map(|m| m.offered_rps).sum()
+    }
+
+    /// Whether the platform kept up with the offered load: at least 95%
+    /// of arrived requests completed inside the horizon. (The shortfall
+    /// at a sustained load is only horizon-edge truncation; a saturated
+    /// queue grows without bound and drops far below the threshold.)
+    pub fn sustained(&self) -> bool {
+        self.total_arrived == 0 || self.total_served as f64 >= 0.95 * self.total_arrived as f64
+    }
+
+    /// Utilization of `class` (see
+    /// [`class_utilization`](Self::class_utilization)).
+    pub fn utilization(&self, class: MacClass) -> f64 {
+        self.class_utilization[class.index()]
+    }
+
+    /// The capacity-planning headline in the shape the `lumos_dse` memo
+    /// cache stores: `latency_ms` is the **aggregate p99**, power and
+    /// energy-per-bit are the serving figures.
+    pub fn headline(&self) -> DseMetrics {
+        DseMetrics {
+            latency_ms: self.aggregate_latency.p99_ms,
+            power_w: self.avg_power_w,
+            epb_nj: self.epb_nj,
+            feasible: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_exact_sorted_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-3).collect();
+        let p = Percentiles::from_seconds(&samples);
+        assert_eq!(p.min_ms, 1.0);
+        assert_eq!(p.p50_ms, 50.0);
+        assert_eq!(p.p95_ms, 95.0);
+        assert_eq!(p.p99_ms, 99.0);
+        assert_eq!(p.max_ms, 100.0);
+        assert!((p.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_singleton_and_empty() {
+        let p = Percentiles::from_seconds(&[2e-3]);
+        assert_eq!(p.min_ms, 2.0);
+        assert_eq!(p.p50_ms, 2.0);
+        assert_eq!(p.p99_ms, 2.0);
+        assert_eq!(Percentiles::from_seconds(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant() {
+        let a = Percentiles::from_seconds(&[3e-3, 1e-3, 2e-3]);
+        let b = Percentiles::from_seconds(&[1e-3, 2e-3, 3e-3]);
+        assert_eq!(a, b);
+        assert!(a.p50_ms <= a.p95_ms && a.p95_ms <= a.p99_ms);
+    }
+}

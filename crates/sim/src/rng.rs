@@ -127,6 +127,19 @@ impl SimRng {
         mean + std_dev * self.standard_normal()
     }
 
+    /// Exponential sample with the given rate (events per unit time) —
+    /// the inter-arrival distribution of a Poisson process, used by the
+    /// serving simulator's open-loop arrival generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate");
+        // unit_f64() is in [0, 1), so the argument of ln is in (0, 1].
+        -(1.0 - self.unit_f64()).ln() / rate
+    }
+
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
@@ -166,6 +179,21 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean drifted: {mean}");
         assert!((var - 4.0).abs() < 0.3, "variance drifted: {var}");
+    }
+
+    #[test]
+    fn exponential_moments_and_positivity() {
+        let mut r = SimRng::seed_from(42);
+        let n = 20_000;
+        let rate = 4.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.exponential(rate);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean drifted: {mean}");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use lumos::dnn::workload::totals;
 use lumos::dse::{DseMetrics, MemoCache, SweepJob};
 use lumos::prelude::*;
 use lumos::xformer::{dse as xdse, extract_transformer_workloads, zoo as xzoo};
+use lumos_bench::{Align, Table};
 
 const BATCHES: [u32; 5] = [1, 2, 4, 8, 16];
 
@@ -69,21 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("ResNet-50 batched throughput (inferences/second):");
-    println!(
-        "{:<8} {:>16} {:>16} {:>16}",
-        "batch",
-        Platform::Monolithic.label(),
-        "2.5D-Elec",
-        "2.5D-SiPh"
-    );
+    let mut throughput_table = Table::new(&[
+        ("batch", Align::Left),
+        (Platform::Monolithic.label(), Align::Right),
+        ("2.5D-Elec", Align::Right),
+        ("2.5D-SiPh", Align::Right),
+    ]);
     for (&batch, chunk) in BATCHES.iter().zip(metrics.chunks(Platform::all().len())) {
-        let mut row = format!("{batch:<8}");
+        let mut cells = vec![batch.to_string()];
         for m in chunk {
-            let throughput = batch as f64 / (m.latency_ms * 1e-3);
-            row.push_str(&format!(" {throughput:>16.1}"));
+            cells.push(format!("{:.1}", batch as f64 / (m.latency_ms * 1e-3)));
         }
-        println!("{row}");
+        throughput_table.row(cells);
     }
+    throughput_table.print();
 
     println!(
         "\nThroughput saturates once compute dominates; the electrical\n\
@@ -99,10 +99,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const SEQ: u32 = 128;
     let bert = xzoo::bert_base();
     println!("\nBERT-base (seq {SEQ}) batched on 2.5D-SiPh:");
-    println!(
-        "{:<8} {:>12} {:>14} {:>14} {:>12} {:>12}",
-        "batch", "inf/s", "wt (Mbit)", "act (Mbit)", "comm-bound", "regime"
-    );
+    let mut bert_table = Table::new(&[
+        ("batch", Align::Left),
+        ("inf/s", Align::Right),
+        ("wt (Mbit)", Align::Right),
+        ("act (Mbit)", Align::Right),
+        ("comm-bound", Align::Right),
+        ("regime", Align::Right),
+    ]);
     let mut crossover: Option<u32> = None;
     for &batch in &BATCHES {
         let report = xdse::run(&cfg, &Platform::Siph2p5D, &bert, SEQ, batch)?;
@@ -116,20 +120,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if bandwidth_bound && crossover.is_none() {
             crossover = Some(batch);
         }
-        println!(
-            "{:<8} {:>12.1} {:>14.1} {:>14.1} {:>11.0}% {:>12}",
-            batch,
-            batch as f64 / (report.latency_ms() * 1e-3),
-            t.weight_bits as f64 / 1e6,
-            t.activation_bits as f64 / 1e6,
-            100.0 * report.comm_bound_fraction(),
+        bert_table.row(vec![
+            batch.to_string(),
+            format!("{:.1}", batch as f64 / (report.latency_ms() * 1e-3)),
+            format!("{:.1}", t.weight_bits as f64 / 1e6),
+            format!("{:.1}", t.activation_bits as f64 / 1e6),
+            format!("{:.0}%", 100.0 * report.comm_bound_fraction()),
             if bandwidth_bound {
                 "bandwidth"
             } else {
                 "weight-amort"
-            },
-        );
+            }
+            .to_owned(),
+        ]);
     }
+    bert_table.print();
     match crossover {
         Some(b) if b > BATCHES[0] => println!(
             "\nCrossover at batch {b}: activation traffic (∝ batch, with\n\

@@ -20,6 +20,21 @@ use lumos::dnn::workload::{totals, Precision};
 use lumos::dse::{DseMetrics, MemoCache, SweepJob, XformerAxes};
 use lumos::prelude::*;
 use lumos::xformer::{dse as xdse, extract_transformer_workloads, zoo as xzoo};
+use lumos_bench::{Align, Table};
+
+/// The shared column set of the transformer/CNN comparison tables.
+fn comparison_table() -> Table {
+    Table::new(&[
+        ("model", Align::Left),
+        ("params", Align::Right),
+        ("seq", Align::Right),
+        ("batch", Align::Right),
+        ("lat (ms)", Align::Right),
+        ("P (W)", Align::Right),
+        ("EPB (nJ/b)", Align::Right),
+        ("MACs/byte", Align::Right),
+    ])
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = PlatformConfig::paper_table1();
@@ -58,25 +73,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("transformer zoo on 2.5D-SiPh (Table 1 platform):");
-    println!(
-        "{:<12} {:>11} {:>6} {:>6} {:>10} {:>8} {:>11} {:>10}",
-        "model", "params", "seq", "batch", "lat (ms)", "P (W)", "EPB (nJ/b)", "MACs/byte"
-    );
+    let mut xformer_table = comparison_table();
     for (m, &(i, s, b)) in metrics.iter().zip(job.points()) {
         let model = &models[i];
         let work = extract_transformer_workloads(model, s, b, cfg.precision);
-        println!(
-            "{:<12} {:>11} {:>6} {:>6} {:>10.3} {:>8.1} {:>11.3} {:>10.1}",
-            model.name,
-            model.param_count(),
-            model.effective_seq(s),
-            b,
-            m.latency_ms,
-            m.power_w,
-            m.epb_nj,
-            totals(&work).macs_per_byte(),
-        );
+        xformer_table.row(vec![
+            model.name.clone(),
+            model.param_count().to_string(),
+            model.effective_seq(s).to_string(),
+            b.to_string(),
+            format!("{:.3}", m.latency_ms),
+            format!("{:.1}", m.power_w),
+            format!("{:.3}", m.epb_nj),
+            format!("{:.1}", totals(&work).macs_per_byte()),
+        ]);
     }
+    xformer_table.print();
 
     // CNN baseline at the same batch sizes, through the same engine.
     let runner = Runner::new(cfg.clone());
@@ -100,10 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nCNN baselines on 2.5D-SiPh:");
-    println!(
-        "{:<12} {:>11} {:>6} {:>6} {:>10} {:>8} {:>11} {:>10}",
-        "model", "params", "seq", "batch", "lat (ms)", "P (W)", "EPB (nJ/b)", "MACs/byte"
-    );
+    let mut cnn_table = comparison_table();
     for (m, &(i, b)) in cnn_metrics.iter().zip(cnn_job.points()) {
         let model = &cnns[i];
         let work = lumos::dnn::extract_workloads(model, Precision::int8());
@@ -111,18 +120,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Batched traffic: weights once, activations × batch.
         t.total_bits = t.weight_bits + b as u64 * t.activation_bits;
         t.macs *= b as u64;
-        println!(
-            "{:<12} {:>11} {:>6} {:>6} {:>10.3} {:>8.1} {:>11.3} {:>10.1}",
-            model.name(),
-            model.param_count(),
-            "-",
-            b,
-            m.latency_ms,
-            m.power_w,
-            m.epb_nj,
-            t.macs_per_byte(),
-        );
+        cnn_table.row(vec![
+            model.name().to_owned(),
+            model.param_count().to_string(),
+            "-".to_owned(),
+            b.to_string(),
+            format!("{:.3}", m.latency_ms),
+            format!("{:.1}", m.power_w),
+            format!("{:.3}", m.epb_nj),
+            format!("{:.1}", t.macs_per_byte()),
+        ]);
     }
+    cnn_table.print();
 
     // Where does the traffic go? Attention's share of bits vs MACs
     // shows why long sequences drag transformers toward the

@@ -17,6 +17,8 @@
 //! * [`dse`] — parallel, memoized design-space exploration engine
 //! * [`xformer`] — transformer workloads: attention as batched GEMMs,
 //!   softmax/layer-norm traffic, and the BERT/GPT-2/ViT zoo
+//! * [`serve`] — multi-model inference serving: open-loop arrivals,
+//!   pluggable scheduling, processor-sharing contention, capacity sweeps
 //!
 //! # Examples
 //!
@@ -41,16 +43,19 @@ pub use lumos_hbm as hbm;
 pub use lumos_noc as noc;
 pub use lumos_phnet as phnet;
 pub use lumos_photonics as photonics;
+pub use lumos_serve as serve;
 pub use lumos_sim as sim;
 pub use lumos_xformer as xformer;
 
 /// The most common types for running paper experiments.
 pub mod prelude {
     pub use lumos_core::{
-        calibration::Calibration, config::PlatformConfig, platform::Platform, runner::Runner,
+        calibration::Calibration, config::PlatformConfig, contention::ContentionModel,
+        platform::Platform, runner::Runner,
     };
     pub use lumos_dnn::zoo;
-    pub use lumos_dse::{DseAxes, MemoCache, SweepJob, XformerAxes};
+    pub use lumos_dse::{DseAxes, MemoCache, ServeAxes, ServePolicy, SweepJob, XformerAxes};
+    pub use lumos_serve::{simulate, ServeConfig, ServeReport, ServedModel};
     pub use lumos_sim::SimTime;
     pub use lumos_xformer::{zoo as xformer_zoo, TransformerConfig};
 }
