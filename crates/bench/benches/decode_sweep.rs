@@ -1,0 +1,79 @@
+//! KV-cached decode sweep: the generation-latency counterpart of
+//! `transformer_sweep`. Prints per-token latency/power/EPB for GPT-2
+//! small decode steps across cache depths and batches on the photonic
+//! platform — through the memoized `lumos_dse` engine — then benchmarks
+//! representative decode steps and the warm-cache grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::bench_threads;
+use lumos_core::dse::{DecodeAxes, MemoCache};
+use lumos_core::{Platform, PlatformConfig};
+use lumos_xformer::{dse as xdse, zoo as xzoo};
+
+fn sweep() {
+    println!("\n=== KV-cached decode sweep (2.5D-SiPh, gpt2_small) ===");
+    println!(
+        "{:>8} {:>6} {:>14} {:>10} {:>12}",
+        "cache", "batch", "ms/token", "P (W)", "EPB (nJ/b)"
+    );
+    let cfg = PlatformConfig::paper_table1();
+    let axes = DecodeAxes::bench_grid();
+    let mut cache = MemoCache::in_memory();
+    let gpt2 = xzoo::gpt2_small();
+    let (points, _) = xdse::sweep_decode(
+        &cfg,
+        &Platform::Siph2p5D,
+        &gpt2,
+        &axes,
+        bench_threads(),
+        &mut cache,
+    );
+    for p in points {
+        if p.feasible {
+            println!(
+                "{:>8} {:>6} {:>14.4} {:>10.1} {:>12.3}",
+                p.cache_len, p.batch, p.latency_ms, p.power_w, p.epb_nj
+            );
+        } else {
+            println!("{:>8} {:>6} infeasible", p.cache_len, p.batch);
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let cfg = PlatformConfig::paper_table1();
+    let mut group = c.benchmark_group("decode_sweep");
+    group.sample_size(10);
+    let gpt2 = xzoo::gpt2_small();
+    for (cache_len, batch) in [(128u32, 1u32), (4096, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("gpt2_small", format!("cache{cache_len}_b{batch}")),
+            &(cache_len, batch),
+            |b, &(cache_len, batch)| {
+                b.iter(|| {
+                    xdse::run_decode(&cfg, &Platform::Siph2p5D, &gpt2, cache_len, batch)
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    // The memoized engine on a warm cache: the whole bench grid served
+    // from the memo should cost microseconds, not simulations.
+    let mut cache = MemoCache::in_memory();
+    let axes = DecodeAxes::bench_grid();
+    let _ = xdse::sweep_decode(&cfg, &Platform::Siph2p5D, &gpt2, &axes, 0, &mut cache);
+    group.bench_function("gpt2_small/warm_cache_grid", |b| {
+        b.iter(|| {
+            let (points, stats) =
+                xdse::sweep_decode(&cfg, &Platform::Siph2p5D, &gpt2, &axes, 1, &mut cache);
+            assert!(stats.all_hits());
+            points
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Regenerates the paper's Fig. 7: per-model normalized (a) power,
 //! (b) total latency, and (c) energy-per-bit for the three platforms
-//! (DESIGN.md experiments F7a/F7b/F7c).
+//! (experiments F7a/F7b/F7c in the docs/ARCHITECTURE.md experiment
+//! index).
 //!
 //! Values are normalized per model to the monolithic CrossLight
 //! baseline (=1.0), matching the figure's presentation.

@@ -1,5 +1,5 @@
-//! Regenerates the paper's Tables 1, 2, and 3 (DESIGN.md experiments
-//! T1, T2, T3, X1).
+//! Regenerates the paper's Tables 1, 2, and 3 (experiments T1, T2,
+//! T3, X1 in the docs/ARCHITECTURE.md experiment index).
 //!
 //! ```text
 //! cargo run -p lumos-bench --bin tables                         # all tables

@@ -1,8 +1,9 @@
 //! # lumos-bench — harnesses regenerating every table and figure
 //!
-//! Shared helpers for the binaries (`tables`, `breakdown`) and criterion
-//! benches that reproduce the paper's evaluation artifacts. See
-//! DESIGN.md §4 for the experiment index.
+//! Shared helpers for the binaries (`tables`, `fig7`, `breakdown`) and
+//! criterion benches that reproduce the paper's evaluation artifacts.
+//! See the experiment index in docs/ARCHITECTURE.md for what each
+//! harness regenerates.
 //!
 //! Evaluations run through the `lumos_dse` worker pool: every
 //! platform × model cell is independent, so the full Table 2 × platform
@@ -11,6 +12,24 @@
 //! can be pinned with `--threads N` on any harness binary or the
 //! `LUMOS_DSE_THREADS` environment variable (useful on CI machines with
 //! few cores).
+//!
+//! # Examples
+//!
+//! The harness plumbing is reusable: argument parsing for worker
+//! counts, ratio formatting, and the aligned-column [`Table`] renderer
+//! every example prints through.
+//!
+//! ```
+//! use lumos_bench::{ratio, thread_override_from_args, Align, Table};
+//!
+//! let args = vec!["--threads".to_string(), "4".to_string()];
+//! assert_eq!(thread_override_from_args(args), Some(4));
+//! assert_eq!(ratio(34.9, 1.1), "31.7x");
+//!
+//! let mut t = Table::new(&[("model", Align::Left), ("ms", Align::Right)]);
+//! t.row(vec!["lenet5".into(), "0.01".into()]);
+//! assert!(t.render().contains("lenet5"));
+//! ```
 
 use lumos_core::{summarize, Platform, PlatformConfig, PlatformSummary, RunReport, Runner};
 use lumos_dnn::Model;

@@ -16,8 +16,9 @@
 //!   built with;
 //! * [`point`] — the shared sweep vocabulary ([`DseAxes`] grids,
 //!   [`DsePoint`], [`DseMetrics`], the [`XformerAxes`]
-//!   transformer-scenario grids, and the [`ServeAxes`] serving grids
-//!   with their [`ServePolicy`] scheduling vocabulary);
+//!   transformer-scenario and [`DecodeAxes`] KV-cache-decode grids, and
+//!   the [`ServeAxes`] serving grids with their [`ServePolicy`]
+//!   scheduling and [`SharePolicy`] processor-sharing vocabulary);
 //! * [`pareto`] — frontier extraction and successive-halving axis
 //!   refinement around the frontier.
 //!
@@ -61,4 +62,6 @@ pub use cache::{MemoCache, CACHE_DIR_ENV, DEFAULT_CACHE_DIR};
 pub use hash::StableHasher;
 pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
-pub use point::{DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, XformerAxes};
+pub use point::{
+    DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, SharePolicy, XformerAxes,
+};

@@ -247,6 +247,72 @@ impl XformerAxes {
     }
 }
 
+/// The autoregressive-decode scenario grid: the cartesian product of
+/// KV-cache depths and batch sizes one decode step is evaluated at.
+///
+/// [`XformerAxes`] parameterizes the *prefill* pass (sequence length ×
+/// batch); these axes parameterize the *generation* regime — one token
+/// attending against a `cache_len`-deep KV cache. Cache depth is the
+/// knob that walks a decode step from weight-bound (shallow cache, the
+/// projection GEMVs dominate) to KV-bandwidth-bound (deep cache, the
+/// per-step cache read dominates), which is exactly where the photonic
+/// interposer's edge is contested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeAxes {
+    /// KV-cache depths (tokens already cached) to try.
+    pub cache_lens: Vec<u32>,
+    /// Batch sizes (concurrent generation streams) to try.
+    pub batches: Vec<u32>,
+}
+
+impl DecodeAxes {
+    /// Cache-depth axis of the `decode` example grid.
+    pub const EXAMPLE_CACHE_LENS: &'static [u32] = &[128, 512, 2048];
+    /// Batch axis of the `decode` example grid.
+    pub const EXAMPLE_BATCHES: &'static [u32] = &[1];
+
+    /// Cache-depth axis of the `decode_sweep` bench grid.
+    pub const SWEEP_CACHE_LENS: &'static [u32] = &[64, 256, 1024, 4096];
+    /// Batch axis of the `decode_sweep` bench grid.
+    pub const SWEEP_BATCHES: &'static [u32] = &[1, 8];
+
+    /// Builds axes from borrowed slices (the `const`-friendly form).
+    pub fn from_slices(cache_lens: &[u32], batches: &[u32]) -> Self {
+        DecodeAxes {
+            cache_lens: cache_lens.to_vec(),
+            batches: batches.to_vec(),
+        }
+    }
+
+    /// The `decode` example grid: 3 cache depths at batch 1.
+    pub fn example_grid() -> Self {
+        Self::from_slices(Self::EXAMPLE_CACHE_LENS, Self::EXAMPLE_BATCHES)
+    }
+
+    /// The `decode_sweep` bench grid: 4 cache depths × 2 batches.
+    pub fn bench_grid() -> Self {
+        Self::from_slices(Self::SWEEP_CACHE_LENS, Self::SWEEP_BATCHES)
+    }
+
+    /// Number of scenarios (the cartesian product of the axes).
+    pub fn len(&self) -> usize {
+        self.cache_lens.len() * self.batches.len()
+    }
+
+    /// Whether the grid is empty (either axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the grid in sweep order: cache depths outermost,
+    /// batches innermost — the order every decode sweep reports in.
+    pub fn points(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.cache_lens
+            .iter()
+            .flat_map(move |&c| self.batches.iter().map(move |&b| (c, b)))
+    }
+}
+
 /// Admission-scheduling policies of the `lumos_serve` multi-model
 /// serving simulator.
 ///
@@ -298,6 +364,55 @@ impl ServePolicy {
 }
 
 impl std::fmt::Display for ServePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How `lumos_serve` splits the platform between concurrently resident
+/// streams — the *execution*-shaping counterpart of the
+/// admission-shaping [`ServePolicy`].
+///
+/// Pure data here (like [`ServePolicy`]) so sweep axes and cache
+/// fingerprints can name a sharing discipline without pulling in the
+/// serving machinery; `lumos_serve` implements the actual weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharePolicy {
+    /// Classic generalized processor sharing: `k` resident streams each
+    /// hold a `1/k` slice of every MAC class and link.
+    #[default]
+    Uniform,
+    /// SLO-pressure-weighted sharing: each resident stream is weighted
+    /// by the inverse of its EDF slack (time to its SLO deadline), so
+    /// streams close to — or past — their deadline drain faster at the
+    /// expense of streams with headroom.
+    SloPressure,
+}
+
+impl SharePolicy {
+    /// All sharing disciplines, in fingerprint-tag order.
+    pub fn all() -> [SharePolicy; 2] {
+        [SharePolicy::Uniform, SharePolicy::SloPressure]
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharePolicy::Uniform => "uniform",
+            SharePolicy::SloPressure => "slo-pressure",
+        }
+    }
+
+    /// Stable discriminant for cache fingerprints (never reorder).
+    pub fn tag(self) -> u64 {
+        match self {
+            SharePolicy::Uniform => 0,
+            SharePolicy::SloPressure => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for SharePolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -424,6 +539,26 @@ mod tests {
         assert!(!a.is_empty());
         assert_eq!(ServeAxes::example_grid().len(), 5);
         assert_eq!(ServeAxes::bench_grid().len(), 12);
+    }
+
+    #[test]
+    fn decode_axes_iterate_in_sweep_order() {
+        let a = DecodeAxes::from_slices(&[128, 2048], &[1, 8]);
+        let pts: Vec<(u32, u32)> = a.points().collect();
+        assert_eq!(pts, vec![(128, 1), (128, 8), (2048, 1), (2048, 8)]);
+        assert_eq!(pts.len(), a.len());
+        assert!(!a.is_empty());
+        assert_eq!(DecodeAxes::example_grid().len(), 3);
+        assert_eq!(DecodeAxes::bench_grid().len(), 8);
+        assert!(DecodeAxes::from_slices(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn share_policy_tags_are_distinct_and_stable() {
+        let tags: Vec<u64> = SharePolicy::all().iter().map(|p| p.tag()).collect();
+        assert_eq!(tags, vec![0, 1]);
+        assert_eq!(SharePolicy::default(), SharePolicy::Uniform);
+        assert_eq!(SharePolicy::SloPressure.to_string(), "slo-pressure");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! PCM couplers and dimming the laser accordingly. PROWAVES achieves a
 //! similar effect by scaling the number of active *wavelengths* instead.
 //! Both are implemented here, alongside static baselines, so the
-//! policies can be compared (ablation A3 in DESIGN.md).
+//! policies can be compared (ablation A3 in the docs/ARCHITECTURE.md
+//! experiment index).
 
 use lumos_photonics::pcmc::PcmCoupler;
 

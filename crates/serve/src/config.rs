@@ -4,13 +4,20 @@
 use lumos_core::{Platform, PlatformConfig};
 use lumos_dnn::workload::Precision;
 use lumos_dnn::{extract_workloads, LayerWorkload, Model};
-use lumos_dse::ServePolicy;
+use lumos_dse::{ServePolicy, SharePolicy};
 use lumos_xformer::TransformerConfig;
 
 use crate::error::ServeError;
 
 /// One registered model in the serving mix: its lowered layer stream
 /// plus its traffic contract (offered arrival rate and latency SLO).
+///
+/// A model is either **single-pass** (one workload stream per request —
+/// a CNN inference or a transformer prefill) or a closed-loop
+/// **generator** ([`ServedModel::generator`]): a prefill stage followed
+/// by [`decode_steps`](Self::decode_steps), one KV-cached decode step
+/// per generated token, each a workload stream whose cache depth
+/// advances by one.
 ///
 /// # Examples
 ///
@@ -21,27 +28,36 @@ use crate::error::ServeError;
 /// let resnet = ServedModel::cnn(&lumos_dnn::zoo::resnet50(), Precision::int8(), 200.0, 10.0);
 /// assert_eq!(resnet.name, "resnet50");
 /// assert!(resnet.workloads.len() > 50);
-/// let bert = ServedModel::transformer(
-///     &lumos_xformer::zoo::bert_base(),
+/// assert!(!resnet.is_generator());
+/// let gpt2 = ServedModel::generator(
+///     &lumos_xformer::zoo::gpt2_small(),
 ///     128,
-///     4,
+///     8,
+///     1,
 ///     Precision::int8(),
-///     50.0,
-///     50.0,
+///     5.0,
+///     500.0,
 /// );
-/// assert!(bert.name.contains("bert"));
+/// assert!(gpt2.is_generator());
+/// assert_eq!(gpt2.n_stages(), 9); // prefill + 8 decode steps
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedModel {
     /// Display name (also the per-model report label).
     pub name: String,
-    /// The lowered layer stream one request executes.
+    /// The lowered layer stream one request executes first: the whole
+    /// request for a single-pass model, the prefill for a generator.
     pub workloads: Vec<LayerWorkload>,
+    /// KV-cached decode steps executed after `workloads`, one per
+    /// generated token, in emission order (cache depth advances by one
+    /// token per step). Empty for single-pass models.
+    pub decode_steps: Vec<Vec<LayerWorkload>>,
     /// Offered arrival rate at load scale 1.0, requests per second.
     pub rate_rps: f64,
     /// Latency service-level objective, milliseconds (the deadline the
     /// SLO-aware policy schedules against, and the attainment target
-    /// the report scores).
+    /// the report scores). For a generator the SLO covers the full
+    /// generation (arrival → last token).
     pub slo_ms: f64,
 }
 
@@ -53,9 +69,23 @@ impl ServedModel {
         rate_rps: f64,
         slo_ms: f64,
     ) -> Self {
+        Self::from_stages(name, workloads, Vec::new(), rate_rps, slo_ms)
+    }
+
+    /// Registers a staged request: a first stream plus any number of
+    /// follow-on decode-step streams (the generic form of
+    /// [`ServedModel::generator`]).
+    pub fn from_stages(
+        name: impl Into<String>,
+        workloads: Vec<LayerWorkload>,
+        decode_steps: Vec<Vec<LayerWorkload>>,
+        rate_rps: f64,
+        slo_ms: f64,
+    ) -> Self {
         ServedModel {
             name: name.into(),
             workloads,
+            decode_steps,
             rate_rps,
             slo_ms,
         }
@@ -90,6 +120,67 @@ impl ServedModel {
         )
     }
 
+    /// Registers a closed-loop token generator: one prefill of
+    /// `prompt_len` tokens, then `n_tokens` KV-cached decode steps
+    /// whose cache depth starts at the (effective) prompt length and
+    /// advances by one token per step.
+    ///
+    /// Token accounting follows the standard TTFT/TPOT split: the
+    /// prefill computes the *first* token (its completion is the
+    /// report's time-to-first-token) and each decode step emits one
+    /// *subsequent* token, so a completed request emits `n_tokens + 1`
+    /// tokens in total. The report's `tokens` and `per_token` metrics
+    /// count only the `n_tokens` decode-step emissions — the
+    /// steady-state tokens whose latency TTFT does not already cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics for patch models (ViT has no decode phase) and when
+    /// `batch` or `n_tokens` is zero.
+    pub fn generator(
+        model: &TransformerConfig,
+        prompt_len: u32,
+        n_tokens: u32,
+        batch: u32,
+        precision: Precision,
+        rate_rps: f64,
+        slo_ms: f64,
+    ) -> Self {
+        assert!(n_tokens > 0, "a generator must emit at least one token");
+        let prompt = model.effective_seq(prompt_len);
+        let decode_steps = (0..n_tokens)
+            .map(|i| lumos_xformer::extract_decode_workloads(model, prompt + i, batch, precision))
+            .collect();
+        Self::from_stages(
+            format!(
+                "{} (gen {n_tokens} @ prompt {prompt}, batch {batch})",
+                model.name
+            ),
+            lumos_xformer::extract_transformer_workloads(model, prompt, batch, precision),
+            decode_steps,
+            rate_rps,
+            slo_ms,
+        )
+    }
+
+    /// Whether requests are closed-loop generations (prefill + decode
+    /// steps) rather than single-pass inferences.
+    pub fn is_generator(&self) -> bool {
+        !self.decode_steps.is_empty()
+    }
+
+    /// Stages one request executes, in order: the first stream, then
+    /// every decode step.
+    pub fn stages(&self) -> impl Iterator<Item = &[LayerWorkload]> {
+        std::iter::once(self.workloads.as_slice())
+            .chain(self.decode_steps.iter().map(|s| s.as_slice()))
+    }
+
+    /// Number of stages per request (1 for single-pass models).
+    pub fn n_stages(&self) -> usize {
+        1 + self.decode_steps.len()
+    }
+
     /// Checks the model is servable.
     ///
     /// # Errors
@@ -99,6 +190,11 @@ impl ServedModel {
         if self.workloads.is_empty() {
             return Err(ServeError::BadConfig {
                 reason: format!("model {} has no workloads", self.name),
+            });
+        }
+        if let Some(i) = self.decode_steps.iter().position(|s| s.is_empty()) {
+            return Err(ServeError::BadConfig {
+                reason: format!("model {} decode step {i} has no workloads", self.name),
             });
         }
         if !(self.rate_rps.is_finite() && self.rate_rps >= 0.0) {
@@ -148,6 +244,11 @@ pub struct ServeConfig {
     pub models: Vec<ServedModel>,
     /// Admission-scheduling policy.
     pub policy: ServePolicy,
+    /// How resident streams split the platform: classic uniform `1/k`
+    /// processor sharing, or SLO-pressure-weighted shares (streams
+    /// closest to their deadline drain fastest). Uniform sharing
+    /// reproduces the pre-weighting simulator bit-for-bit.
+    pub sharing: SharePolicy,
     /// Simulated horizon, seconds: arrivals are generated over
     /// `[0, duration_s)` and the simulation hard-stops at the horizon
     /// (requests still queued or in flight count as arrived, not
@@ -166,13 +267,15 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// A serving configuration with the default knobs: FIFO scheduling,
-    /// a 1-second horizon, seed 42, 4 resident streams, load scale 1.
+    /// uniform processor sharing, a 1-second horizon, seed 42, 4
+    /// resident streams, load scale 1.
     pub fn new(platform_cfg: PlatformConfig, platform: Platform, models: Vec<ServedModel>) -> Self {
         ServeConfig {
             platform_cfg,
             platform,
             models,
             policy: ServePolicy::Fifo,
+            sharing: SharePolicy::Uniform,
             duration_s: 1.0,
             seed: 42,
             max_concurrency: 4,
@@ -183,6 +286,12 @@ impl ServeConfig {
     /// Sets the scheduling policy.
     pub fn with_policy(mut self, policy: ServePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the processor-sharing discipline.
+    pub fn with_sharing(mut self, sharing: SharePolicy) -> Self {
+        self.sharing = sharing;
         self
     }
 
@@ -281,12 +390,14 @@ mod tests {
             lenet_mix(),
         )
         .with_policy(ServePolicy::RoundRobin)
+        .with_sharing(SharePolicy::SloPressure)
         .with_duration_s(0.5)
         .with_seed(9)
         .with_max_concurrency(2)
         .with_load_scale(2.0)
         .with_platform(Platform::Siph2p5D);
         assert_eq!(cfg.policy, ServePolicy::RoundRobin);
+        assert_eq!(cfg.sharing, SharePolicy::SloPressure);
         assert_eq!(cfg.duration_s, 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.max_concurrency, 2);
@@ -311,8 +422,37 @@ mod tests {
         let mut bad_rate = base.clone();
         bad_rate.models[0].rate_rps = f64::NAN;
         assert!(bad_rate.validate().is_err());
-        let mut bad_slo = base;
+        let mut bad_slo = base.clone();
         bad_slo.models[0].slo_ms = 0.0;
         assert!(bad_slo.validate().is_err());
+        let mut bad_step = base;
+        bad_step.models[0].decode_steps = vec![vec![]];
+        assert!(bad_step.validate().is_err());
+    }
+
+    #[test]
+    fn generator_stages_advance_the_cache() {
+        use lumos_dnn::workload::totals;
+        let g = ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            64,
+            4,
+            1,
+            Precision::int8(),
+            5.0,
+            500.0,
+        );
+        assert!(g.is_generator());
+        assert_eq!(g.n_stages(), 5);
+        assert_eq!(g.stages().count(), 5);
+        g.validate().expect("generator validates");
+        // Each decode step's cache is one token deeper, so traffic
+        // grows step over step while the step count stays fixed.
+        for w in g.decode_steps.windows(2) {
+            assert_eq!(w[0].len(), w[1].len());
+            assert!(totals(&w[0]).total_bits < totals(&w[1]).total_bits);
+        }
+        // The prefill stage dwarfs any single decode step.
+        assert!(totals(&g.workloads).macs > 16 * totals(&g.decode_steps[0]).macs);
     }
 }

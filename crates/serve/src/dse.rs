@@ -4,12 +4,14 @@
 //! A capacity plan is a sweep over offered load × scheduling policy ×
 //! platform ([`ServeAxes`] plus a platform list). Every point is keyed
 //! by a stable fingerprint of the *entire* serving configuration —
-//! platform configuration, model mix (workloads, rates, SLOs), policy,
-//! horizon, seed, residency cap, and load scale — so sweeps are
-//! parallel, memoized, and persistable exactly like the CNN and
-//! transformer paths. The cached value is the capacity-planning
-//! headline ([`ServeReport::headline`]): `latency_ms` holds the
-//! aggregate **p99**, with serving power and energy-per-bit alongside.
+//! platform configuration, model mix (workloads, decode steps, rates,
+//! SLOs), policy, sharing discipline, horizon, seed, residency cap,
+//! and load scale — so sweeps are parallel, memoized, and persistable
+//! exactly like the CNN and transformer paths. The cached value is the
+//! capacity-planning headline
+//! ([`ServeReport::headline`](crate::report::ServeReport::headline)):
+//! `latency_ms` holds the aggregate **p99**, with serving power and
+//! energy-per-bit alongside.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -28,11 +30,12 @@ use crate::sim::{simulate, simulate_with_profiles};
 
 /// Fingerprint-schema version for serving points: bump when the
 /// simulation semantics change so persisted caches from older runs are
-/// invalidated wholesale.
-const SERVE_KEY_SCHEMA: u64 = 1;
+/// invalidated wholesale. (v2: generator stages + processor-sharing
+/// discipline entered the key set.)
+const SERVE_KEY_SCHEMA: u64 = 2;
 
 /// Stable fingerprint of a model mix: every model's name, lowered
-/// workload stream, offered rate, and SLO.
+/// workload stream, decode-step streams, offered rate, and SLO.
 pub fn mix_fingerprint(models: &[ServedModel]) -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(SERVE_KEY_SCHEMA);
@@ -41,6 +44,10 @@ pub fn mix_fingerprint(models: &[ServedModel]) -> u64 {
     for m in models {
         h.write_str(&m.name);
         h.write_u64(workloads_fingerprint(&m.workloads));
+        h.write_usize(m.decode_steps.len());
+        for step in &m.decode_steps {
+            h.write_u64(workloads_fingerprint(step));
+        }
         h.write_f64(m.rate_rps);
         h.write_f64(m.slo_ms);
     }
@@ -56,6 +63,7 @@ pub fn serve_key(cfg: &ServeConfig) -> u64 {
     cfg.platform.hash(&mut h);
     h.write_u64(mix_fingerprint(&cfg.models));
     h.write_u64(cfg.policy.tag());
+    h.write_u64(cfg.sharing.tag());
     h.write_f64(cfg.duration_s);
     h.write_u64(cfg.seed);
     h.write_usize(cfg.max_concurrency);
@@ -226,6 +234,17 @@ mod tests {
             mix_fingerprint(&cfg.models),
             mix_fingerprint(&hotter.models)
         );
+        // The sharing discipline and generator stages shape the report,
+        // so they must rotate the key.
+        use lumos_dse::SharePolicy;
+        assert_ne!(
+            serve_key(&cfg),
+            serve_key(&cfg.clone().with_sharing(SharePolicy::SloPressure))
+        );
+        let mut gen = cfg.clone();
+        gen.models[0].decode_steps = vec![gen.models[0].workloads.clone()];
+        assert_ne!(serve_key(&cfg), serve_key(&gen));
+        assert_ne!(mix_fingerprint(&cfg.models), mix_fingerprint(&gen.models));
     }
 
     #[test]

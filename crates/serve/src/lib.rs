@@ -6,20 +6,25 @@
 //! turns the platform model into that capacity planner:
 //!
 //! * [`config`] — the served model mix ([`ServedModel`]: any CNN-zoo or
-//!   `lumos_xformer` workload stream plus an arrival rate and SLO) and
-//!   the traffic/scheduling knobs ([`ServeConfig`])
-//! * [`profile`] — per-model service times tabulated at every
-//!   contention level through
+//!   `lumos_xformer` workload stream plus an arrival rate and SLO,
+//!   including closed-loop token **generators** —
+//!   [`ServedModel::generator`] runs each request through a prefill
+//!   plus one KV-cached decode step per emitted token) and the
+//!   traffic/scheduling knobs ([`ServeConfig`])
+//! * [`profile`] — per-model, per-stage service times tabulated at
+//!   every contention level through
 //!   [`Runner::run_workloads_scaled`](lumos_core::runner::Runner::run_workloads_scaled)
 //! * [`sim`] — the open-loop discrete-event core ([`simulate`]):
 //!   seeded Poisson arrivals, pluggable admission policies
 //!   ([`ServePolicy`]: FIFO, round-robin, shortest-job-first,
 //!   SLO-aware earliest-deadline-first), and processor-sharing
-//!   contention — `k` resident streams each hold a `1/k` slice of
-//!   every MAC class and interposer link
+//!   contention under a [`SharePolicy`] — uniform `1/k` slices of
+//!   every MAC class and interposer link, or SLO-pressure-weighted
+//!   shares (EDF slack)
 //! * [`report`] — [`ServeReport`]: per-model and aggregate throughput,
 //!   queueing delay and latency percentiles (p50/p95/p99 from exact
-//!   sorted samples), per-class utilization, power, energy per bit
+//!   sorted samples), time-to-first-token and per-token latency for
+//!   generator streams, per-class utilization, power, energy per bit
 //! * [`dse`] — fingerprinted, memoized capacity sweeps over
 //!   [`ServeAxes`] (offered load × policy) × platform through the
 //!   `lumos_dse` engine
@@ -76,4 +81,4 @@ pub use sim::{simulate, simulate_with_profiles};
 // The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
 // with fingerprints and grids); re-export it so serving callers need
 // one import.
-pub use lumos_dse::{ServeAxes, ServePolicy};
+pub use lumos_dse::{ServeAxes, ServePolicy, SharePolicy};

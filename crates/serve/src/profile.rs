@@ -2,14 +2,29 @@
 //! contention level.
 //!
 //! The serving simulator is a processor-sharing queue over whole layer
-//! streams: with `k` streams resident, each sees `1/k` of every MAC
-//! class and every link ([`ContentionModel::of_resident_streams`]).
-//! Rather than re-simulating a stream every time the residency changes,
-//! the profile tabulates each model's end-to-end latency at every
-//! contention level `1..=max_concurrency` up front through
+//! streams: with `k` streams resident under uniform sharing, each sees
+//! `1/k` of every MAC class and every link
+//! ([`ContentionModel::of_resident_streams`]). Rather than
+//! re-simulating a stream every time the residency changes, the
+//! profile tabulates each model's latency at every contention level
+//! `1..=max_concurrency` up front through
 //! [`Runner::run_workloads_scaled`]; the event loop then advances each
 //! resident stream's remaining-work fraction at the rate the current
 //! residency implies.
+//!
+//! A model is a sequence of **stages** — one for a single-pass
+//! inference, prefill plus one stage per generated token for a
+//! closed-loop generator — and every stage gets its own tabulated
+//! service-time column, since a KV-cached decode step costs orders of
+//! magnitude less than its prefill and grows with cache depth.
+//!
+//! Weighted processor sharing ([`SharePolicy::SloPressure`])
+//! allocates *non-uniform* shares, which fall between the tabulated
+//! `1/k` points; [`ModelProfile::stage_service_at_share`] interpolates
+//! the same table in virtual-residency space (`1/share`), so the
+//! uniform discipline's exact table lookups stay bit-for-bit intact.
+//!
+//! [`SharePolicy::SloPressure`]: lumos_dse::SharePolicy::SloPressure
 
 use lumos_core::contention::ContentionModel;
 use lumos_core::mac::MacUnit;
@@ -24,28 +39,94 @@ use crate::error::ServeError;
 pub struct ModelProfile {
     /// Model name.
     pub name: String,
-    /// `service_s[k-1]`: end-to-end latency of one request when `k`
-    /// streams share the platform, seconds. Nondecreasing in `k`.
-    pub service_s: Vec<f64>,
-    /// Energy of one isolated request, joules (time-sharing conserves
-    /// the dynamic work; static power is accounted platform-wide).
+    /// `stages[s][k-1]`: latency of stage `s` (stage 0 = the
+    /// single-pass stream or prefill; stages `1..` = decode steps) when
+    /// `k` streams share the platform uniformly, seconds. Nondecreasing
+    /// in `k` within a stage.
+    pub stages: Vec<Vec<f64>>,
+    /// Energy of one isolated request across all stages, joules
+    /// (time-sharing conserves the dynamic work; static power is
+    /// accounted platform-wide).
     pub energy_j: f64,
-    /// Bits one request moves across the memory/interposer interface.
+    /// Bits one request moves across the memory/interposer interface,
+    /// across all stages.
     pub bits: u64,
     /// Pure compute demand per request in unit-seconds per MAC class
-    /// ([`MacClass::all`] order) — allocation-invariant, the numerator
-    /// of the report's utilization figures.
+    /// ([`MacClass::all`] order), across all stages —
+    /// allocation-invariant, the numerator of the report's utilization
+    /// figures.
     pub class_unit_seconds: [f64; 4],
 }
 
 impl ModelProfile {
-    /// Service time with `k` resident streams, seconds.
+    /// Full-request service time with `k` resident streams: the sum of
+    /// every stage at that contention level, seconds. (The
+    /// shortest-job-first policy ranks queues by `service_s(1)`.)
     ///
     /// # Panics
     ///
     /// Panics if `k` is zero or exceeds the profiled depth.
     pub fn service_s(&self, k: usize) -> f64 {
-        self.service_s[k - 1]
+        self.stages.iter().map(|s| s[k - 1]).sum()
+    }
+
+    /// Service time of stage `stage` with `k` resident streams,
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` or `k` is out of range.
+    pub fn stage_service(&self, stage: usize, k: usize) -> f64 {
+        self.stages[stage][k - 1]
+    }
+
+    /// Number of stages one request executes.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Deepest contention level every stage is tabulated for.
+    pub fn depth(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).min().unwrap_or(0)
+    }
+
+    /// Service time of stage `stage` at an arbitrary platform share in
+    /// `(0, 1]` — the weighted-processor-sharing lookup.
+    ///
+    /// The table holds exact simulations at shares `1/1, 1/2, …, 1/K`.
+    /// An exact match (which every uniform `1/k` share is, bit-for-bit)
+    /// returns the tabulated value untouched; shares in between are
+    /// interpolated linearly in virtual residency (`v = 1/share`,
+    /// service is close to affine in `v` for both compute- and
+    /// bandwidth-bound streams); shares below `1/K` extrapolate
+    /// proportionally (`service ∝ v`), the exact processor-sharing
+    /// asymptote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or `share` is not in `(0, 1]`.
+    pub fn stage_service_at_share(&self, stage: usize, share: f64) -> f64 {
+        let table = &self.stages[stage];
+        assert!(share > 0.0 && share <= 1.0, "share {share} outside (0, 1]");
+        let k_max = table.len();
+        // Exact table hit (uniform 1/k shares land here bit-for-bit).
+        for (j, &s) in table.iter().enumerate() {
+            if share == 1.0 / (j + 1) as f64 {
+                return s;
+            }
+        }
+        let v = 1.0 / share; // virtual residency
+        if v >= k_max as f64 {
+            // Beyond the table: proportional slowdown from the deepest
+            // tabulated point.
+            return table[k_max - 1] * (v / k_max as f64);
+        }
+        // Bracket v between consecutive integer residencies.
+        let lo = v.floor().max(1.0) as usize;
+        let hi = (lo + 1).min(k_max);
+        let t_lo = table[lo - 1];
+        let t_hi = table[hi - 1];
+        t_lo + (v - lo as f64) * (t_hi - t_lo)
     }
 }
 
@@ -60,8 +141,9 @@ pub struct ServiceProfiles {
     pub class_units: [f64; 4],
 }
 
-/// Builds the service profiles for `cfg` by running every model through
-/// the platform simulator at every contention level.
+/// Builds the service profiles for `cfg` by running every stage of
+/// every model through the platform simulator at every contention
+/// level.
 ///
 /// # Errors
 ///
@@ -82,38 +164,47 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
 
     let mut models = Vec::with_capacity(cfg.models.len());
     for m in &cfg.models {
-        let mut service_s = Vec::with_capacity(cfg.max_concurrency);
+        let mut stages = Vec::with_capacity(m.n_stages());
         let mut energy_j = 0.0;
         let mut bits = 0u64;
-        for k in 1..=cfg.max_concurrency {
-            let report = runner.run_workloads_scaled(
-                &cfg.platform,
-                &m.name,
-                &m.workloads,
-                &ContentionModel::of_resident_streams(k),
-            )?;
-            if k == 1 {
-                energy_j = report.energy.total_j();
-                bits = report.bits_moved;
-            }
-            service_s.push(report.total_latency.as_secs_f64());
-        }
-
         let mut class_unit_seconds = [0.0f64; 4];
-        for w in &m.workloads {
-            let placement = place(&cfg.platform_cfg, w)?;
-            for share in &placement.shares {
-                let unit = MacUnit::new(share.class, calib);
-                // passes / rate = unit-seconds of demand, independent of
-                // how many units (or what fraction of them) execute it.
-                class_unit_seconds[share.class.index()] +=
-                    share.passes as f64 / unit.passes_per_second();
+        for (si, stage) in m.stages().enumerate() {
+            let label = if si == 0 {
+                m.name.clone()
+            } else {
+                format!("{} [step {si}]", m.name)
+            };
+            let mut service_s = Vec::with_capacity(cfg.max_concurrency);
+            for k in 1..=cfg.max_concurrency {
+                let report = runner.run_workloads_scaled(
+                    &cfg.platform,
+                    &label,
+                    stage,
+                    &ContentionModel::of_resident_streams(k),
+                )?;
+                if k == 1 {
+                    energy_j += report.energy.total_j();
+                    bits += report.bits_moved;
+                }
+                service_s.push(report.total_latency.as_secs_f64());
+            }
+            stages.push(service_s);
+
+            for w in stage {
+                let placement = place(&cfg.platform_cfg, w)?;
+                for share in &placement.shares {
+                    let unit = MacUnit::new(share.class, calib);
+                    // passes / rate = unit-seconds of demand, independent
+                    // of how many units (or what fraction) execute it.
+                    class_unit_seconds[share.class.index()] +=
+                        share.passes as f64 / unit.passes_per_second();
+                }
             }
         }
 
         models.push(ModelProfile {
             name: m.name.clone(),
-            service_s,
+            stages,
             energy_j,
             bits,
             class_unit_seconds,
@@ -157,12 +248,13 @@ mod tests {
     fn service_times_grow_with_contention() {
         let profiles = build_profiles(&cfg()).expect("lenet5 profiles on 2.5D-SiPh");
         let p = &profiles.models[0];
-        assert_eq!(p.service_s.len(), 3);
-        for w in p.service_s.windows(2) {
+        assert_eq!(p.n_stages(), 1);
+        assert_eq!(p.depth(), 3);
+        for k in 1..3 {
             assert!(
-                w[0] < w[1],
+                p.service_s(k) < p.service_s(k + 1),
                 "more contention must be slower: {:?}",
-                p.service_s
+                p.stages
             );
         }
         assert!(p.energy_j > 0.0 && p.bits > 0);
@@ -186,5 +278,63 @@ mod tests {
     fn class_units_match_table1() {
         let profiles = build_profiles(&cfg()).expect("profiles");
         assert_eq!(profiles.class_units, [8.0, 8.0, 32.0, 132.0]);
+    }
+
+    #[test]
+    fn generator_profiles_tabulate_every_stage() {
+        let mut c = cfg();
+        c.models = vec![ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            512,
+            3,
+            1,
+            Precision::int8(),
+            2.0,
+            5_000.0,
+        )];
+        let profiles = build_profiles(&c).expect("generator profiles");
+        let p = &profiles.models[0];
+        assert_eq!(p.n_stages(), 4);
+        assert_eq!(p.depth(), 3);
+        // A 512-token prefill dwarfs one decode step at every
+        // contention level (a step re-streams the same weights but
+        // runs 1/seq of the GEMM compute).
+        for k in 1..=3 {
+            assert!(p.stage_service(0, k) > 4.0 * p.stage_service(1, k));
+        }
+        // …decode steps get (weakly) slower as the cache deepens…
+        for s in 1..3 {
+            assert!(p.stage_service(s, 1) <= p.stage_service(s + 1, 1));
+        }
+        // …and the full-request time is the stage sum.
+        let sum: f64 = (0..4).map(|s| p.stage_service(s, 2)).sum();
+        assert_eq!(p.service_s(2), sum);
+    }
+
+    #[test]
+    fn share_lookup_hits_table_exactly_and_interpolates_between() {
+        let profiles = build_profiles(&cfg()).expect("profiles");
+        let p = &profiles.models[0];
+        // Exact uniform shares return tabulated values bit-for-bit.
+        for k in 1usize..=3 {
+            assert_eq!(
+                p.stage_service_at_share(0, 1.0 / k as f64).to_bits(),
+                p.stage_service(0, k).to_bits()
+            );
+        }
+        // Between table points: bracketed by the neighbours.
+        let mid = p.stage_service_at_share(0, 0.4); // v = 2.5
+        assert!(p.stage_service(0, 2) < mid && mid < p.stage_service(0, 3));
+        // Beyond the table: proportional extrapolation past K = 3.
+        let deep = p.stage_service_at_share(0, 0.25); // v = 4
+        assert!(deep > p.stage_service(0, 3));
+        assert!((deep - p.stage_service(0, 3) * (4.0 / 3.0)).abs() < 1e-12 * deep.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn out_of_range_share_rejected() {
+        let profiles = build_profiles(&cfg()).expect("profiles");
+        let _ = profiles.models[0].stage_service_at_share(0, 0.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Serving reports: per-model and aggregate traffic statistics.
 
 use lumos_core::{MacClass, Platform};
-use lumos_dse::{DseMetrics, ServePolicy};
+use lumos_dse::{DseMetrics, ServePolicy, SharePolicy};
 
 /// Latency summary from exact sorted samples (nearest-rank
 /// percentiles, no interpolation). All figures are milliseconds; an
@@ -71,6 +71,21 @@ pub struct ModelServeStats {
     /// Fraction of served requests that met the SLO (1.0 when nothing
     /// was served).
     pub slo_attainment: f64,
+    /// Time-to-first-token (arrival → prefill completion) of generator
+    /// requests whose prefill finished inside the horizon (a
+    /// generation the horizon later truncates still emitted its first
+    /// token). All zeros for single-pass models, whose only "token" is
+    /// the whole response ([`Percentiles::default`]).
+    pub ttft: Percentiles,
+    /// Per-token latency (gap between consecutive decode-step
+    /// completions) over every token emitted inside the horizon. All
+    /// zeros for single-pass models.
+    pub per_token: Percentiles,
+    /// Tokens emitted inside the horizon by decode-step completions —
+    /// the *subsequent* tokens of each generation; the first token of
+    /// each request is the prefill's, covered by [`ttft`](Self::ttft)
+    /// and not double-counted here. Zero for single-pass models.
+    pub tokens: u64,
 }
 
 /// The result of one open-loop serving simulation.
@@ -84,6 +99,8 @@ pub struct ServeReport {
     pub platform: Platform,
     /// Scheduling policy used.
     pub policy: ServePolicy,
+    /// Processor-sharing discipline used.
+    pub sharing: SharePolicy,
     /// Simulated horizon, seconds.
     pub duration_s: f64,
     /// Arrival seed.
@@ -102,6 +119,13 @@ pub struct ServeReport {
     pub aggregate_throughput_rps: f64,
     /// Aggregate end-to-end latency over every served request.
     pub aggregate_latency: Percentiles,
+    /// Aggregate time-to-first-token over every generator prefill that
+    /// finished inside the horizon (all zeros when the mix has no
+    /// generators).
+    pub aggregate_ttft: Percentiles,
+    /// Aggregate per-token latency over every token emitted inside the
+    /// horizon (all zeros when the mix has no generators).
+    pub aggregate_per_token: Percentiles,
     /// Compute-demand utilization per MAC class: served unit-seconds of
     /// demand over available unit-seconds, in [`MacClass::all`] order.
     pub class_utilization: [f64; 4],

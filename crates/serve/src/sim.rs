@@ -11,23 +11,45 @@
 //! At most [`ServeConfig::max_concurrency`] layer streams are
 //! *resident* at once; the rest queue per model and the configured
 //! [`ServePolicy`] picks which queue head is admitted when a slot
-//! frees. Resident streams progress under processor sharing: with `k`
-//! streams resident each holds a `1/k` slice of every MAC class and
-//! link ([`ContentionModel::of_resident_streams`]), so a stream's
+//! frees. Resident streams progress under processor sharing: under the
+//! default [`SharePolicy::Uniform`] discipline, `k` resident streams
+//! each hold a `1/k` slice of every MAC class and link
+//! ([`ContentionModel::of_resident_streams`]), so a stream's
 //! remaining-work fraction drains at rate `1 / service_s(k)` from its
 //! model's tabulated [`ServiceProfiles`]. Every arrival, admission, and
 //! completion re-evaluates the rates — the classic generalized
 //! processor-sharing queue, but with service times that come from the
 //! platform simulator instead of a closed form.
 //!
+//! [`SharePolicy::SloPressure`] replaces the uniform split with
+//! EDF-slack weighting: each resident stream is weighted by the
+//! inverse of its time-to-deadline (floored at 1 µs, so overdue
+//! streams saturate rather than diverge), shares are the normalized
+//! weights, and per-stream service times come from the same tabulated
+//! profiles via share-space interpolation
+//! ([`ModelProfile::stage_service_at_share`]). Shares are frozen
+//! between events — the standard event-driven approximation of a
+//! continuously drifting weight.
+//!
+//! A **generator** model ([`ServedModel::generator`]) runs each
+//! request through multiple stages — prefill, then one KV-cached
+//! decode step per token — without releasing its residency slot
+//! between stages. Stage-0 completion records time-to-first-token;
+//! every decode-stage completion emits a token and records the gap
+//! since the previous stage as per-token latency.
+//!
 //! The simulation hard-stops at the horizon: requests still queued or
 //! in flight count as arrived but not served, which is what makes
 //! saturation visible (served throughput plateaus at capacity while
 //! arrivals keep growing).
+//!
+//! [`ContentionModel::of_resident_streams`]: lumos_core::contention::ContentionModel::of_resident_streams
+//! [`ModelProfile::stage_service_at_share`]: crate::profile::ModelProfile::stage_service_at_share
+//! [`ServedModel::generator`]: crate::config::ServedModel::generator
 
 use std::collections::VecDeque;
 
-use lumos_dse::ServePolicy;
+use lumos_dse::{ServePolicy, SharePolicy};
 use lumos_sim::SimRng;
 
 use crate::config::ServeConfig;
@@ -48,8 +70,62 @@ struct Resident {
     model: usize,
     arrival_s: f64,
     admitted_s: f64,
-    /// Fraction of the layer stream still to execute, in `[0, 1]`.
+    /// Stage currently executing (0 = single-pass stream or prefill;
+    /// `1..` = decode steps).
+    stage: usize,
+    /// Completion time of the previous stage (admission time while
+    /// stage 0 runs) — the per-token latency baseline.
+    last_boundary_s: f64,
+    /// Fraction of the current stage still to execute, in `[0, 1]`.
     remaining: f64,
+}
+
+/// Slack floor for SLO-pressure weighting, seconds: streams at or past
+/// their deadline weigh `1/SLACK_FLOOR_S` instead of diverging.
+const SLACK_FLOOR_S: f64 = 1e-6;
+
+/// Per-resident stage service times under the configured sharing
+/// discipline, frozen at `now`.
+///
+/// Uniform sharing indexes the tabulated `1/k` contention level
+/// directly (the hot path — it runs on every event). SLO-pressure
+/// weights are inverse EDF slack (floored at `SLACK_FLOOR_S`),
+/// normalized into shares and looked up through the same tables in
+/// share space (`ModelProfile::stage_service_at_share`) — a lookup
+/// that returns the tabulated values bit-for-bit whenever the shares
+/// are the uniform `1/k` (equal weights, or a single resident), so the
+/// two disciplines agree exactly wherever their allocations coincide
+/// (property-tested in `tests/properties.rs`).
+fn stage_services(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+    resident: &[Resident],
+    now: f64,
+) -> Vec<f64> {
+    match cfg.sharing {
+        SharePolicy::Uniform => {
+            let k = resident.len();
+            resident
+                .iter()
+                .map(|r| profiles.models[r.model].stage_service(r.stage, k))
+                .collect()
+        }
+        SharePolicy::SloPressure => {
+            let weights: Vec<f64> = resident
+                .iter()
+                .map(|r| {
+                    let deadline = r.arrival_s + cfg.models[r.model].slo_ms * 1e-3;
+                    1.0 / (deadline - now).max(SLACK_FLOOR_S)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            resident
+                .iter()
+                .zip(&weights)
+                .map(|(r, w)| profiles.models[r.model].stage_service_at_share(r.stage, w / total))
+                .collect()
+        }
+    }
 }
 
 /// Generates every model's Poisson arrivals over `[0, duration)` and
@@ -167,8 +243,8 @@ pub fn simulate(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
 /// Profiles depend only on the platform (configuration + organization),
 /// the model mix, and `max_concurrency` — not on the load scale,
 /// policy, seed, or horizon — so a load curve or policy sweep can build
-/// them once with [`build_profiles`](crate::profile::build_profiles)
-/// and amortize the platform simulations across every point.
+/// them once with [`build_profiles`] and amortize the platform
+/// simulations across every point.
 ///
 /// # Errors
 ///
@@ -192,14 +268,29 @@ pub fn simulate_with_profiles(
     if let Some(shallow) = profiles
         .models
         .iter()
-        .find(|m| m.service_s.len() < cfg.max_concurrency)
+        .find(|m| m.depth() < cfg.max_concurrency)
     {
         return Err(ServeError::BadConfig {
             reason: format!(
                 "profile for {} tabulates {} contention levels, need {}",
                 shallow.name,
-                shallow.service_s.len(),
+                shallow.depth(),
                 cfg.max_concurrency
+            ),
+        });
+    }
+    if let Some((p, m)) = profiles
+        .models
+        .iter()
+        .zip(&cfg.models)
+        .find(|(p, m)| p.n_stages() != m.n_stages())
+    {
+        return Err(ServeError::BadConfig {
+            reason: format!(
+                "profile for {} tabulates {} stages, model has {}",
+                p.name,
+                p.n_stages(),
+                m.n_stages()
             ),
         });
     }
@@ -212,24 +303,30 @@ pub fn simulate_with_profiles(
     let mut rr_cursor = 0usize;
     let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut delays: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut ttfts: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut token_gaps: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut arrived = vec![0u64; n];
     let mut now = 0.0f64;
     let mut next_arrival = 0usize;
     let mut concurrency_integral = 0.0f64;
 
     enum Event {
-        Completion(usize),
+        /// A resident stream finished its *current stage*.
+        StageDone(usize),
         Arrival,
     }
 
     loop {
         let k = resident.len();
-        // Earliest completion under the current residency (ties break
-        // by residency position, which is deterministic).
+        // Per-stream stage service times under the sharing discipline,
+        // frozen at `now` (re-evaluated at every event).
+        let services = stage_services(cfg, profiles, &resident, now);
+        // Earliest stage completion under the current residency (ties
+        // break by residency position, which is deterministic).
         let completion = resident
             .iter()
             .enumerate()
-            .map(|(i, r)| (now + r.remaining * profiles.models[r.model].service_s(k), i))
+            .map(|(i, r)| (now + r.remaining * services[i], i))
             .min_by(|a, b| {
                 a.0.partial_cmp(&b.0)
                     .expect("finite completion times")
@@ -241,11 +338,11 @@ pub fn simulate_with_profiles(
         // simultaneous arrival.
         let (t, event) = match (completion, arrival) {
             (None, None) => break,
-            (Some((tc, i)), None) => (tc, Event::Completion(i)),
+            (Some((tc, i)), None) => (tc, Event::StageDone(i)),
             (None, Some(ta)) => (ta, Event::Arrival),
             (Some((tc, i)), Some(ta)) => {
                 if tc <= ta {
-                    (tc, Event::Completion(i))
+                    (tc, Event::StageDone(i))
                 } else {
                     (ta, Event::Arrival)
                 }
@@ -258,18 +355,40 @@ pub fn simulate_with_profiles(
         // Advance every resident stream's remaining work to `t`.
         let dt = t - now;
         if dt > 0.0 {
-            for r in &mut resident {
-                r.remaining = (r.remaining - dt / profiles.models[r.model].service_s(k)).max(0.0);
+            for (r, service) in resident.iter_mut().zip(&services) {
+                r.remaining = (r.remaining - dt / service).max(0.0);
             }
             concurrency_integral += k as f64 * dt;
         }
         now = t;
 
         match event {
-            Event::Completion(i) => {
-                let r = resident.remove(i);
-                latencies[r.model].push(now - r.arrival_s);
-                delays[r.model].push(r.admitted_s - r.arrival_s);
+            Event::StageDone(i) => {
+                let model = resident[i].model;
+                let generator = profiles.models[model].n_stages() > 1;
+                if generator {
+                    let r = &resident[i];
+                    if r.stage == 0 {
+                        // Prefill done: the first token is out (TTFT);
+                        // decode steps emit the subsequent tokens.
+                        ttfts[model].push(now - r.arrival_s);
+                    } else {
+                        // One more decode step: one more token.
+                        token_gaps[model].push(now - r.last_boundary_s);
+                    }
+                }
+                if resident[i].stage + 1 < profiles.models[model].n_stages() {
+                    // Advance to the next decode step without releasing
+                    // the residency slot.
+                    let r = &mut resident[i];
+                    r.stage += 1;
+                    r.last_boundary_s = now;
+                    r.remaining = 1.0;
+                } else {
+                    let r = resident.remove(i);
+                    latencies[r.model].push(now - r.arrival_s);
+                    delays[r.model].push(r.admitted_s - r.arrival_s);
+                }
             }
             Event::Arrival => {
                 let p = arrivals[next_arrival];
@@ -288,6 +407,8 @@ pub fn simulate_with_profiles(
                         model: p.model,
                         arrival_s: p.arrival_s,
                         admitted_s: now,
+                        stage: 0,
+                        last_boundary_s: now,
                         remaining: 1.0,
                     });
                 }
@@ -300,6 +421,8 @@ pub fn simulate_with_profiles(
     // Roll up the report.
     let mut models = Vec::with_capacity(n);
     let mut all_latencies = Vec::new();
+    let mut all_ttfts = Vec::new();
+    let mut all_token_gaps = Vec::new();
     let mut total_energy_j = 0.0f64;
     let mut total_bits = 0u64;
     let mut class_demand = [0.0f64; 4];
@@ -327,8 +450,13 @@ pub fn simulate_with_profiles(
             } else {
                 within as f64 / served as f64
             },
+            ttft: Percentiles::from_seconds(&ttfts[i]),
+            per_token: Percentiles::from_seconds(&token_gaps[i]),
+            tokens: token_gaps[i].len() as u64,
         });
         all_latencies.extend_from_slice(&latencies[i]);
+        all_ttfts.extend_from_slice(&ttfts[i]);
+        all_token_gaps.extend_from_slice(&token_gaps[i]);
     }
     let total_arrived: u64 = arrived.iter().sum();
     let total_served: u64 = models.iter().map(|m| m.served).sum();
@@ -340,6 +468,7 @@ pub fn simulate_with_profiles(
     Ok(ServeReport {
         platform: cfg.platform,
         policy: cfg.policy,
+        sharing: cfg.sharing,
         duration_s: horizon,
         seed: cfg.seed,
         load_scale: cfg.load_scale,
@@ -349,6 +478,8 @@ pub fn simulate_with_profiles(
         total_served,
         aggregate_throughput_rps: total_served as f64 / horizon,
         aggregate_latency: Percentiles::from_seconds(&all_latencies),
+        aggregate_ttft: Percentiles::from_seconds(&all_ttfts),
+        aggregate_per_token: Percentiles::from_seconds(&all_token_gaps),
         class_utilization,
         mean_concurrency: concurrency_integral / horizon,
         avg_power_w: total_energy_j / horizon,
@@ -482,6 +613,83 @@ mod tests {
         let mut wider = cfg;
         wider.models = two_models;
         assert!(simulate_with_profiles(&wider, &profiles).is_err());
+    }
+
+    #[test]
+    fn generator_reports_ttft_and_per_token() {
+        let gen = ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            32,
+            4,
+            1,
+            Precision::int8(),
+            40.0,
+            1_000.0,
+        );
+        let cfg = ServeConfig::new(
+            PlatformConfig::paper_table1(),
+            Platform::Siph2p5D,
+            vec![gen],
+        )
+        .with_duration_s(0.25)
+        .with_max_concurrency(2);
+        let r = simulate(&cfg).expect("generator mix simulates");
+        let m = &r.models[0];
+        assert!(m.served > 0, "light generator load must serve");
+        // Every served generation emitted 4 tokens after its prefill;
+        // in-flight generations may add a partial tail.
+        assert!(m.tokens >= 4 * m.served);
+        assert!(m.ttft.p50_ms > 0.0);
+        assert!(m.ttft.p50_ms <= m.ttft.p99_ms);
+        assert!(m.per_token.p50_ms > 0.0);
+        assert!(m.per_token.p50_ms <= m.per_token.p99_ms);
+        // First token out strictly before the full generation is done,
+        // and a single token costs less than the whole response.
+        assert!(m.ttft.min_ms < m.latency.min_ms);
+        assert!(m.per_token.max_ms < m.latency.max_ms);
+        // Single-model mix: aggregates mirror the model rows.
+        assert_eq!(r.aggregate_ttft, m.ttft);
+        assert_eq!(r.aggregate_per_token, m.per_token);
+    }
+
+    #[test]
+    fn single_pass_models_report_no_token_metrics() {
+        let r = simulate(&base(vec![lenet(400.0, 5.0)])).expect("single-pass mix");
+        assert_eq!(r.models[0].tokens, 0);
+        assert_eq!(r.models[0].ttft, Percentiles::default());
+        assert_eq!(r.aggregate_per_token, Percentiles::default());
+    }
+
+    #[test]
+    fn slo_pressure_shifts_service_toward_tight_deadlines() {
+        use lumos_dse::SharePolicy;
+        // Identical models and rates; only the SLO differs. Offered
+        // load saturates two resident streams, so both models are
+        // continuously resident and the sharing weights decide who
+        // drains faster.
+        let models = vec![lenet(150_000.0, 50.0), lenet(150_000.0, 0.2)];
+        let cfg = base(models).with_duration_s(0.004);
+        let uniform = simulate(&cfg.clone()).expect("uniform sharing");
+        let weighted =
+            simulate(&cfg.with_sharing(SharePolicy::SloPressure)).expect("slo-pressure sharing");
+        assert_eq!(weighted.sharing, SharePolicy::SloPressure);
+        // Sharing shapes *execution*, not admission: compare the time
+        // requests spend in service (end-to-end minus queueing). The
+        // overdue tight-SLO streams out-weigh their co-residents and
+        // drain faster; the loose-SLO streams pay for it.
+        let in_service = |r: &ServeReport, i: usize| {
+            r.models[i].latency.mean_ms - r.models[i].queue_delay.mean_ms
+        };
+        assert!(
+            in_service(&weighted, 1) < in_service(&uniform, 1),
+            "tight-SLO in-service time: weighted {} vs uniform {}",
+            in_service(&weighted, 1),
+            in_service(&uniform, 1)
+        );
+        assert!(
+            in_service(&weighted, 0) > in_service(&uniform, 0),
+            "loose-SLO streams should pay for the tight model's shares"
+        );
     }
 
     #[test]

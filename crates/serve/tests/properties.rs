@@ -9,8 +9,8 @@
 use lumos_core::{Platform, PlatformConfig, Runner};
 use lumos_dnn::workload::Precision;
 use lumos_dnn::zoo;
-use lumos_dse::ServePolicy;
-use lumos_serve::{build_profiles, simulate, ServeConfig, ServedModel};
+use lumos_dse::{ServePolicy, SharePolicy};
+use lumos_serve::{build_profiles, simulate, simulate_with_profiles, ServeConfig, ServedModel};
 use proptest::prelude::*;
 
 fn policy_from(idx: u8) -> ServePolicy {
@@ -125,11 +125,91 @@ proptest! {
         let c = cfg(&[1000.0], 1, ServePolicy::Fifo, k);
         let profiles = build_profiles(&c).expect("profiles build");
         for m in &profiles.models {
-            for w in m.service_s.windows(2) {
-                prop_assert!(w[0] <= w[1], "service times not monotone: {:?}", m.service_s);
+            for stage in &m.stages {
+                for w in stage.windows(2) {
+                    prop_assert!(w[0] <= w[1], "service times not monotone: {:?}", m.stages);
+                }
             }
         }
     }
+
+    /// (e) Uniform weights reproduce the old `1/k` reports bit-for-bit.
+    /// Both disciplines run the same weighted-share machinery
+    /// (weights → normalized shares → profile lookup); with one
+    /// resident stream every share is exactly 1, so SLO-pressure
+    /// weighting must collapse to the uniform discipline's exact
+    /// tabulated lookups — the whole report, bit for bit.
+    #[test]
+    fn slo_pressure_collapses_to_uniform_at_k1(
+        seed in 0u64..1_000_000,
+        policy_idx in 0u8..4,
+        rate in 1_000.0f64..400_000.0,
+    ) {
+        let base = cfg(&[rate, rate / 3.0], seed, policy_from(policy_idx), 1);
+        let uniform = simulate(&base).expect("uniform sharing runs");
+        let mut weighted = simulate(&base.clone().with_sharing(SharePolicy::SloPressure))
+            .expect("slo-pressure sharing runs");
+        prop_assert_eq!(weighted.sharing, SharePolicy::SloPressure);
+        weighted.sharing = uniform.sharing;
+        // Derived PartialEq over every f64 field; reports are NaN-free
+        // by construction so equality means bit-identical.
+        prop_assert_eq!(uniform, weighted);
+    }
+
+    /// (f) Uniform shares hit the tabulated contention levels exactly:
+    /// the share-space lookup at `1/k` returns `stage_service(k)`
+    /// bit-for-bit for every stage and depth.
+    #[test]
+    fn uniform_shares_hit_the_service_table_exactly(k in 1usize..6) {
+        let c = cfg(&[1000.0], 1, ServePolicy::Fifo, k);
+        let profiles = build_profiles(&c).expect("profiles build");
+        for m in &profiles.models {
+            for stage in 0..m.n_stages() {
+                for j in 1..=k {
+                    let share = 1.0 / j as f64;
+                    prop_assert_eq!(
+                        m.stage_service_at_share(stage, share).to_bits(),
+                        m.stage_service(stage, j).to_bits()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded generator determinism: the closed-loop token generator is a
+/// pure function of its configuration — identical seeds give
+/// bit-identical reports (TTFT and per-token percentiles included),
+/// different seeds move the arrivals. One deterministic case (not a
+/// proptest loop) because the stage profiles simulate GPT-2.
+#[test]
+fn seeded_generator_reports_are_deterministic() {
+    let gen = || {
+        ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            32,
+            3,
+            1,
+            Precision::int8(),
+            30.0,
+            1_000.0,
+        )
+    };
+    let base = ServeConfig::new(
+        PlatformConfig::paper_table1(),
+        Platform::Siph2p5D,
+        vec![gen()],
+    )
+    .with_duration_s(0.2)
+    .with_max_concurrency(2);
+    let profiles = build_profiles(&base).expect("generator profiles build");
+    let a = simulate_with_profiles(&base, &profiles).expect("generator mix simulates");
+    let b = simulate_with_profiles(&base, &profiles).expect("generator mix repeats");
+    assert_eq!(a, b, "identical seeds must give bit-identical reports");
+    assert_eq!(a, simulate(&base).expect("fresh profile build agrees"));
+    assert!(a.models[0].tokens > 0, "tokens must flow at light load");
+    let c = simulate_with_profiles(&base.clone().with_seed(7), &profiles).expect("reseeded");
+    assert_ne!(a, c, "a different seed should move the Poisson arrivals");
 }
 
 /// The bit-identity property, but across the exact mix the serving

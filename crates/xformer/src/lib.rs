@@ -8,15 +8,19 @@
 //! * [`config`] — architectures the way model cards state them, with
 //!   **exact** published parameter totals
 //!   ([`TransformerConfig::param_count`])
-//! * [`ops`] — attention decomposed into batched GEMMs (fused QKV,
-//!   `Q·Kᵀ`, `softmax·V`, output projection), MLP blocks, and explicit
-//!   softmax/layer-norm traffic passes, parameterized by sequence
-//!   length and batch size
+//! * [`ops`] — the **prefill** pass: attention decomposed into batched
+//!   GEMMs (fused QKV, `Q·Kᵀ`, `softmax·V`, output projection), MLP
+//!   blocks, and explicit softmax/layer-norm traffic passes,
+//!   parameterized by sequence length and batch size
+//! * [`decode`] — the **generation** pass: one token against a
+//!   [`KvCache`], every GEMM collapsed to an `m = 1` GEMV, explicit
+//!   KV-cache read/write traffic through HBM, parameterized by cache
+//!   depth and batch size
 //! * [`zoo`] — BERT-Base (109,482,240), GPT-2 small (124,439,808), and
 //!   ViT-B/16 (86,567,656)
-//! * [`dse`] — scenario fingerprints, memoized evaluation, and
-//!   sequence/batch + configuration sweeps through the `lumos_dse`
-//!   engine
+//! * [`dse`] — scenario/decode fingerprints, memoized evaluation, and
+//!   sequence/batch + cache-depth + configuration sweeps through the
+//!   `lumos_dse` engine
 //!
 //! The lowering target is the same [`lumos_dnn::LayerWorkload`] the CNN
 //! path uses, so transformer workloads flow through the unchanged
@@ -41,10 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod decode;
 pub mod dse;
 pub mod ops;
 pub mod zoo;
 
 pub use config::{Embedding, TransformerConfig};
-pub use dse::ScenarioPoint;
+pub use decode::{decode_ops, extract_decode_workloads, DecodePhase, KvCache};
+pub use dse::{DecodePoint, ScenarioPoint};
 pub use ops::{extract_transformer_workloads, transformer_ops, OpKind, XformerOp};

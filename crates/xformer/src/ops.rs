@@ -47,6 +47,9 @@ pub enum OpKind {
     FfNorm,
     /// Final stack LayerNorm.
     FinalNorm,
+    /// KV-cache append: the freshly projected K/V rows of one decode
+    /// step written back through HBM (decode phase only).
+    KvWrite,
     /// BERT-style pooler GEMM over the class token.
     Pooler,
     /// Classification head GEMM.
@@ -101,7 +104,7 @@ pub struct XformerOp {
 impl XformerOp {
     /// A batched GEMM op: `batch` independent `m×k · k×n` products.
     #[allow(clippy::too_many_arguments)] // four GEMM dims + two streams
-    fn gemm(
+    pub(crate) fn gemm(
         name: String,
         kind: OpKind,
         m: u32,
@@ -127,7 +130,7 @@ impl XformerOp {
 
     /// An elementwise pass (softmax / layer-norm) over `rows` rows of
     /// `len` elements.
-    fn elementwise(
+    pub(crate) fn elementwise(
         name: String,
         kind: OpKind,
         class: KernelClass,

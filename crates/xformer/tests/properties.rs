@@ -1,9 +1,10 @@
 //! Property-based tests for transformer shape inference and MAC/param
 //! accounting invariants, over arbitrary `seq_len`/`heads`/`d_model`
-//! architectures.
+//! architectures — prefill and KV-cached decode alike.
 
 use lumos_dnn::workload::{totals, KernelClass, Precision};
 use lumos_xformer::config::{Embedding, TransformerConfig};
+use lumos_xformer::decode::{decode_ops, extract_decode_workloads, KvCache};
 use lumos_xformer::ops::{extract_transformer_workloads, transformer_ops, OpKind};
 use proptest::prelude::*;
 
@@ -182,5 +183,84 @@ proptest! {
             prop_assert_eq!(a.macs, b.macs);
             prop_assert_eq!(a.dot_products, b.dot_products);
         }
+    }
+
+    /// A decode step's compute is a small fraction of the prefill that
+    /// built its cache: one token's GEMVs against `seq` tokens' GEMMs.
+    /// The exact ratio depends on the architecture (attention is
+    /// quadratic in seq for prefill, linear for a step), but one step
+    /// must always cost at most ~2/seq of the prefill's MACs.
+    #[test]
+    fn decode_macs_are_a_fraction_of_prefill(
+        cfg in random_transformer(),
+        batch in 1u32..4,
+    ) {
+        let max = match cfg.embedding {
+            Embedding::Token { max_positions, .. } => max_positions,
+            Embedding::Patch { .. } => unreachable!(),
+        };
+        let seq = max.max(8); // decode ignores the clamp; compare at the table edge
+        let step = totals(&extract_decode_workloads(&cfg, seq - 1, batch, Precision::int8()));
+        let prefill = totals(&extract_transformer_workloads(&cfg, seq, batch, Precision::int8()));
+        prop_assert!(
+            step.macs * (seq as u64 / 2).max(1) <= prefill.macs,
+            "decode step {} MACs vs prefill {} at seq {}",
+            step.macs, prefill.macs, seq
+        );
+    }
+
+    /// KV traffic is strictly monotone in cache depth: a deeper cache
+    /// means more bits read per step (and identical weight traffic).
+    #[test]
+    fn kv_traffic_monotone_in_cache_depth(
+        cfg in random_transformer(),
+        cache in 0u32..2048,
+        deeper_by in 1u32..512,
+        batch in 1u32..4,
+    ) {
+        let a = totals(&extract_decode_workloads(&cfg, cache, batch, Precision::int8()));
+        let b = totals(
+            &extract_decode_workloads(&cfg, cache + deeper_by, batch, Precision::int8()),
+        );
+        prop_assert!(a.total_bits < b.total_bits);
+        prop_assert!(a.activation_bits < b.activation_bits);
+        prop_assert_eq!(a.weight_bits, b.weight_bits, "weights are depth-invariant");
+        // The KvCache accounting agrees with itself across depths.
+        let shallow = KvCache::new(cache, batch);
+        let deep = KvCache::new(cache + deeper_by, batch);
+        prop_assert!(
+            shallow.read_bits_per_step(&cfg, Precision::int8())
+                < deep.read_bits_per_step(&cfg, Precision::int8())
+        );
+    }
+
+    /// Step-0 decode executes exactly the GEMM shapes of a seq-1
+    /// prefill: an empty cache makes generation's first step and a
+    /// one-token forward pass the same computation (the decode path
+    /// additionally writes the first KV rows).
+    #[test]
+    fn step0_decode_matches_seq1_prefill_shapes(
+        cfg in random_transformer(),
+        batch in 1u32..8,
+    ) {
+        let gemms = |ops: &[lumos_xformer::XformerOp]| -> Vec<(KernelClass, u64, u64)> {
+            ops.iter()
+                .filter(|o| matches!(o.class, KernelClass::Gemm { .. }))
+                .map(|o| (o.class, o.weight_elems, o.input_elems))
+                .collect()
+        };
+        let d = decode_ops(&cfg, 0, batch);
+        let p = transformer_ops(&cfg, 1, batch);
+        prop_assert_eq!(gemms(&d), gemms(&p));
+        // The KV write is the only decode-side extra with traffic.
+        let kv_writes: u64 = d
+            .iter()
+            .filter(|o| o.kind == OpKind::KvWrite)
+            .map(|o| o.output_elems)
+            .sum();
+        prop_assert_eq!(
+            kv_writes,
+            cfg.layers as u64 * KvCache::new(0, batch).write_elems_per_layer(&cfg) * batch as u64
+        );
     }
 }

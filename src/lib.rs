@@ -54,8 +54,10 @@ pub mod prelude {
         platform::Platform, runner::Runner,
     };
     pub use lumos_dnn::zoo;
-    pub use lumos_dse::{DseAxes, MemoCache, ServeAxes, ServePolicy, SweepJob, XformerAxes};
+    pub use lumos_dse::{
+        DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob, XformerAxes,
+    };
     pub use lumos_serve::{simulate, ServeConfig, ServeReport, ServedModel};
     pub use lumos_sim::SimTime;
-    pub use lumos_xformer::{zoo as xformer_zoo, TransformerConfig};
+    pub use lumos_xformer::{zoo as xformer_zoo, DecodePhase, KvCache, TransformerConfig};
 }

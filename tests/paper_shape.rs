@@ -1,5 +1,5 @@
-//! Integration tests asserting the paper's headline *shape* (DESIGN.md
-//! §5 fidelity targets, experiments X1/X2).
+//! Integration tests asserting the paper's headline *shape*
+//! (experiments X1/X2 in the docs/ARCHITECTURE.md experiment index).
 //!
 //! Absolute numbers differ from the paper (our substrate is a bottom-up
 //! reconstruction, not the authors' in-house model); these tests pin the

@@ -4,7 +4,7 @@ use crate::rng::TestRng;
 use crate::strategy::Strategy;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification accepted by [`vec`]: a fixed `usize` or a range.
+/// Length specification accepted by [`vec()`]: a fixed `usize` or a range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
