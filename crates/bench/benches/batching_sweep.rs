@@ -1,0 +1,99 @@
+//! Continuous-batching sweep: sustained tokens/sec of a saturating
+//! GPT-2-small generator stream as the decode-batch cap grows, on both
+//! 2.5D platforms. Prints the occupancy/throughput grid, then
+//! benchmarks the batched-plane profile build and the continuous
+//! scheduler itself against the legacy per-stream path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_bench::{Align, Table};
+use lumos_core::{Platform, PlatformConfig};
+use lumos_dnn::workload::Precision;
+use lumos_dse::BatchPolicy;
+use lumos_serve::{build_profiles, simulate_with_profiles, ServeConfig, ServedModel};
+
+fn mix(rate_rps: f64) -> Vec<ServedModel> {
+    vec![ServedModel::generator(
+        &lumos_xformer::zoo::gpt2_small(),
+        32,
+        12,
+        1,
+        Precision::int8(),
+        rate_rps,
+        1_000.0,
+    )]
+}
+
+fn base(platform: Platform, rate_rps: f64, duration_s: f64) -> ServeConfig {
+    ServeConfig::new(PlatformConfig::paper_table1(), platform, mix(rate_rps))
+        .with_duration_s(duration_s)
+        .with_seed(2026)
+        .with_max_concurrency(16)
+}
+
+fn print_sweep() {
+    println!("\n=== continuous-batching sweep (GPT-2-small generators) ===");
+    let mut table = Table::new(&[
+        ("platform", Align::Left),
+        ("decode", Align::Right),
+        ("tok/s", Align::Right),
+        ("TTFT p50 (ms)", Align::Right),
+        ("occ mean", Align::Right),
+    ]);
+    for (platform, rate, dur) in [
+        (Platform::Siph2p5D, 400.0, 0.25),
+        (Platform::Elec2p5D, 30.0, 1.5),
+    ] {
+        for batching in [
+            BatchPolicy::PerStream,
+            BatchPolicy::continuous(2),
+            BatchPolicy::continuous(4),
+        ] {
+            let cfg = base(platform, rate, dur).with_batching(batching);
+            let profiles = build_profiles(&cfg).expect("profiles build");
+            let report = simulate_with_profiles(&cfg, &profiles).expect("serving simulation runs");
+            table.row(vec![
+                platform.to_string(),
+                batching.label().to_owned(),
+                format!("{:.0}", report.aggregate_tokens_per_s),
+                format!("{:.2}", report.aggregate_ttft.p50_ms),
+                if report.batch.ticks == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.2}", report.batch.mean_occupancy)
+                },
+            ]);
+        }
+    }
+    table.print();
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep();
+    let mut group = c.benchmark_group("batching_sweep");
+    group.sample_size(10);
+
+    // Building the 2-D stage x batch decode planes is the expensive
+    // step: every (step, batch, contention) cell is one DES run.
+    group.bench_function("build_batched_profiles_siph", |b| {
+        let cfg = base(Platform::Siph2p5D, 400.0, 0.25).with_batching(BatchPolicy::continuous(4));
+        b.iter(|| build_profiles(&cfg).expect("profiles build"))
+    });
+
+    // The scheduler itself, on prebuilt profiles.
+    for batching in [BatchPolicy::PerStream, BatchPolicy::continuous(4)] {
+        let cfg = base(Platform::Siph2p5D, 400.0, 0.25).with_batching(batching);
+        let profiles = build_profiles(&cfg).expect("profiles build");
+        group.bench_with_input(
+            BenchmarkId::new("simulate_siph", batching.label()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| simulate_with_profiles(cfg, &profiles).expect("serving simulation runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -63,5 +63,6 @@ pub use hash::StableHasher;
 pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
 pub use point::{
-    DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, SharePolicy, XformerAxes,
+    BatchPolicy, DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, SharePolicy,
+    XformerAxes,
 };

@@ -418,6 +418,78 @@ impl std::fmt::Display for SharePolicy {
     }
 }
 
+/// How `lumos_serve` turns co-resident generator streams into platform
+/// work: one execution stream per request, or vLLM-style continuous
+/// batching where co-resident generations of the same model coalesce
+/// into shared batched decode ticks.
+///
+/// Pure data here (like [`ServePolicy`] and [`SharePolicy`]) so sweep
+/// axes and cache fingerprints can name a batching discipline without
+/// pulling in the serving machinery; `lumos_serve` implements the
+/// actual scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BatchPolicy {
+    /// Every resident request is its own execution stream (the
+    /// pre-batching simulator, bit-for-bit).
+    #[default]
+    PerStream,
+    /// Continuous token-level batching: resident generations of the
+    /// same model advance through shared decode ticks — one batched
+    /// GEMV stage per tick, at most `max_batch` generations per tick.
+    /// New prefill-finishers join a running batch at tick boundaries
+    /// and finished generations are evicted without stalling the rest.
+    /// `max_batch = 1` reproduces [`BatchPolicy::PerStream`]
+    /// bit-for-bit.
+    Continuous {
+        /// Most generations one decode tick may coalesce.
+        max_batch: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Continuous batching capped at `max_batch` generations per tick.
+    pub fn continuous(max_batch: usize) -> Self {
+        BatchPolicy::Continuous { max_batch }
+    }
+
+    /// Whether decode ticks may coalesce more than one generation.
+    pub fn is_continuous(self) -> bool {
+        matches!(self, BatchPolicy::Continuous { .. })
+    }
+
+    /// The deepest batch one decode tick may reach under this policy
+    /// (1 for [`BatchPolicy::PerStream`]).
+    pub fn max_batch(self) -> usize {
+        match self {
+            BatchPolicy::PerStream => 1,
+            BatchPolicy::Continuous { max_batch } => max_batch,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> String {
+        match self {
+            BatchPolicy::PerStream => "per-stream".into(),
+            BatchPolicy::Continuous { max_batch } => format!("continuous({max_batch})"),
+        }
+    }
+
+    /// Stable discriminant for cache fingerprints (never reorder): the
+    /// policy kind in the high bits, the batch cap in the low bits.
+    pub fn tag(self) -> u64 {
+        match self {
+            BatchPolicy::PerStream => 0,
+            BatchPolicy::Continuous { max_batch } => (1 << 32) | max_batch as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// The serving sweep grid: offered-load multipliers × scheduling
 /// policies.
 ///
@@ -559,6 +631,24 @@ mod tests {
         assert_eq!(tags, vec![0, 1]);
         assert_eq!(SharePolicy::default(), SharePolicy::Uniform);
         assert_eq!(SharePolicy::SloPressure.to_string(), "slo-pressure");
+    }
+
+    #[test]
+    fn batch_policy_tags_are_distinct_and_stable() {
+        assert_eq!(BatchPolicy::default(), BatchPolicy::PerStream);
+        assert_eq!(BatchPolicy::PerStream.tag(), 0);
+        assert_eq!(BatchPolicy::continuous(4).tag(), (1 << 32) | 4);
+        assert_ne!(
+            BatchPolicy::continuous(1).tag(),
+            BatchPolicy::PerStream.tag(),
+            "continuous(1) is behaviorally identical but keyed apart"
+        );
+        assert_eq!(BatchPolicy::PerStream.max_batch(), 1);
+        assert_eq!(BatchPolicy::continuous(8).max_batch(), 8);
+        assert!(BatchPolicy::continuous(8).is_continuous());
+        assert!(!BatchPolicy::PerStream.is_continuous());
+        assert_eq!(BatchPolicy::continuous(2).to_string(), "continuous(2)");
+        assert_eq!(BatchPolicy::PerStream.to_string(), "per-stream");
     }
 
     #[test]

@@ -4,10 +4,31 @@
 use lumos_core::{Platform, PlatformConfig};
 use lumos_dnn::workload::Precision;
 use lumos_dnn::{extract_workloads, LayerWorkload, Model};
-use lumos_dse::{ServePolicy, SharePolicy};
+use lumos_dse::{BatchPolicy, ServePolicy, SharePolicy};
 use lumos_xformer::TransformerConfig;
 
 use crate::error::ServeError;
+
+/// The lowering recipe behind a generator's decode steps — retained so
+/// the continuous-batching profiler can re-lower any step at a batch
+/// multiple ([`ServedModel::decode_step_at_batch`]).
+///
+/// [`ServedModel::generator`] records one automatically;
+/// [`ServedModel::from_stages`] builds none, which leaves such a model
+/// servable but unbatchable (continuous batching falls back to
+/// per-stream decode for it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorSpec {
+    /// The transformer architecture the decode steps lower.
+    pub arch: TransformerConfig,
+    /// Effective prompt length: decode step `i` attends against a
+    /// `prompt_len + i`-deep KV cache.
+    pub prompt_len: u32,
+    /// Generation streams per request (the request's own batch).
+    pub batch: u32,
+    /// Lowering precision.
+    pub precision: Precision,
+}
 
 /// One registered model in the serving mix: its lowered layer stream
 /// plus its traffic contract (offered arrival rate and latency SLO).
@@ -59,6 +80,11 @@ pub struct ServedModel {
     /// the report scores). For a generator the SLO covers the full
     /// generation (arrival → last token).
     pub slo_ms: f64,
+    /// The decode-step lowering recipe, when the steps came from a
+    /// transformer architecture ([`ServedModel::generator`]) — what
+    /// lets continuous batching re-lower a step at a deeper batch.
+    /// `None` for single-pass models and hand-built stage lists.
+    pub generator_spec: Option<GeneratorSpec>,
 }
 
 impl ServedModel {
@@ -88,6 +114,7 @@ impl ServedModel {
             decode_steps,
             rate_rps,
             slo_ms,
+            generator_spec: None,
         }
     }
 
@@ -151,7 +178,7 @@ impl ServedModel {
         let decode_steps = (0..n_tokens)
             .map(|i| lumos_xformer::extract_decode_workloads(model, prompt + i, batch, precision))
             .collect();
-        Self::from_stages(
+        let mut served = Self::from_stages(
             format!(
                 "{} (gen {n_tokens} @ prompt {prompt}, batch {batch})",
                 model.name
@@ -160,7 +187,39 @@ impl ServedModel {
             decode_steps,
             rate_rps,
             slo_ms,
-        )
+        );
+        served.generator_spec = Some(GeneratorSpec {
+            arch: model.clone(),
+            prompt_len: prompt,
+            batch,
+            precision,
+        });
+        served
+    }
+
+    /// Re-lowers decode step `step` with `batch_mult` co-resident
+    /// generations coalesced into one batched pass — the workload a
+    /// continuous-batching decode tick executes. `batch_mult = 1`
+    /// reproduces `decode_steps[step]` exactly.
+    ///
+    /// Returns `None` when the model carries no [`GeneratorSpec`]
+    /// (single-pass models and hand-built stage lists cannot be
+    /// re-lowered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range or `batch_mult` is zero.
+    pub fn decode_step_at_batch(&self, step: usize, batch_mult: u32) -> Option<Vec<LayerWorkload>> {
+        assert!(step < self.decode_steps.len(), "decode step out of range");
+        assert!(batch_mult > 0, "batch multiple must be at least 1");
+        self.generator_spec.as_ref().map(|spec| {
+            lumos_xformer::extract_decode_workloads(
+                &spec.arch,
+                spec.prompt_len + step as u32,
+                spec.batch * batch_mult,
+                spec.precision,
+            )
+        })
     }
 
     /// Whether requests are closed-loop generations (prefill + decode
@@ -249,6 +308,14 @@ pub struct ServeConfig {
     /// closest to their deadline drain fastest). Uniform sharing
     /// reproduces the pre-weighting simulator bit-for-bit.
     pub sharing: SharePolicy,
+    /// How resident generator streams turn into platform work: one
+    /// stream per request ([`BatchPolicy::PerStream`], the default),
+    /// or continuous token-level batching
+    /// ([`BatchPolicy::Continuous`]) where co-resident generations of
+    /// the same model share batched decode ticks. The default — and
+    /// `Continuous { max_batch: 1 }` — reproduce the unbatched
+    /// simulator bit-for-bit.
+    pub batching: BatchPolicy,
     /// Simulated horizon, seconds: arrivals are generated over
     /// `[0, duration_s)` and the simulation hard-stops at the horizon
     /// (requests still queued or in flight count as arrived, not
@@ -276,6 +343,7 @@ impl ServeConfig {
             models,
             policy: ServePolicy::Fifo,
             sharing: SharePolicy::Uniform,
+            batching: BatchPolicy::PerStream,
             duration_s: 1.0,
             seed: 42,
             max_concurrency: 4,
@@ -293,6 +361,19 @@ impl ServeConfig {
     pub fn with_sharing(mut self, sharing: SharePolicy) -> Self {
         self.sharing = sharing;
         self
+    }
+
+    /// Sets the generator-batching discipline.
+    pub fn with_batching(mut self, batching: BatchPolicy) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// The deepest decode-tick batch this configuration can form: the
+    /// policy's cap, clamped to the residency cap (a tick can never
+    /// hold more generations than there are residency slots).
+    pub fn effective_max_batch(&self) -> usize {
+        self.batching.max_batch().min(self.max_concurrency)
     }
 
     /// Sets the simulated horizon.
@@ -364,6 +445,11 @@ impl ServeConfig {
                 reason: format!("load scale {} not positive", self.load_scale),
             });
         }
+        if self.batching.is_continuous() && self.batching.max_batch() == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "continuous batching needs max_batch of at least 1".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -428,6 +514,78 @@ mod tests {
         let mut bad_step = base;
         bad_step.models[0].decode_steps = vec![vec![]];
         assert!(bad_step.validate().is_err());
+    }
+
+    #[test]
+    fn batching_knob_sticks_and_validates() {
+        let base = ServeConfig::new(
+            PlatformConfig::paper_table1(),
+            Platform::Siph2p5D,
+            lenet_mix(),
+        );
+        assert_eq!(base.batching, BatchPolicy::PerStream);
+        assert_eq!(base.effective_max_batch(), 1);
+        let batched = base
+            .clone()
+            .with_batching(BatchPolicy::continuous(8))
+            .with_max_concurrency(3);
+        assert_eq!(batched.batching, BatchPolicy::continuous(8));
+        // The tick batch can never exceed the residency cap.
+        assert_eq!(batched.effective_max_batch(), 3);
+        batched.validate().expect("valid batched config");
+        assert!(base
+            .with_batching(BatchPolicy::continuous(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn decode_step_at_batch_relowers_the_recorded_spec() {
+        use lumos_dnn::workload::totals;
+        let g = ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            64,
+            2,
+            1,
+            Precision::int8(),
+            5.0,
+            500.0,
+        );
+        let spec = g.generator_spec.as_ref().expect("generator records spec");
+        assert_eq!(spec.prompt_len, 64);
+        assert_eq!(spec.batch, 1);
+        // Batch multiple 1 reproduces the stored step exactly.
+        for step in 0..g.decode_steps.len() {
+            assert_eq!(
+                g.decode_step_at_batch(step, 1)
+                    .expect("spec-backed model re-lowers"),
+                g.decode_steps[step]
+            );
+        }
+        // A deeper batch multiplies activation traffic but streams the
+        // same weights once — the amortization continuous batching buys.
+        let b1 = totals(&g.decode_steps[0]);
+        let b4 = totals(
+            &g.decode_step_at_batch(0, 4)
+                .expect("spec-backed model re-lowers at batch 4"),
+        );
+        // The projection/MLP weight matrices stream once regardless of
+        // batch; only the per-stream embedding-row gather grows, which
+        // is noise next to the weight matrices.
+        assert!(b4.weight_bits >= b1.weight_bits);
+        assert!(b4.weight_bits < b1.weight_bits + b1.weight_bits / 1000);
+        assert!(b4.activation_bits > 3 * b1.activation_bits);
+        assert!(b4.total_bits < 4 * b1.total_bits);
+        // Hand-built stage lists carry no spec and cannot re-lower.
+        let handmade = ServedModel::from_stages(
+            "handmade",
+            g.workloads.clone(),
+            g.decode_steps.clone(),
+            5.0,
+            500.0,
+        );
+        assert!(handmade.generator_spec.is_none());
+        assert!(handmade.decode_step_at_batch(0, 4).is_none());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! A capacity plan is a sweep over offered load × scheduling policy ×
 //! platform ([`ServeAxes`] plus a platform list). Every point is keyed
 //! by a stable fingerprint of the *entire* serving configuration —
-//! platform configuration, model mix (workloads, decode steps, rates,
-//! SLOs), policy, sharing discipline, horizon, seed, residency cap,
+//! platform configuration, model mix (workloads, decode steps,
+//! generator recipes, rates, SLOs), policy, sharing discipline,
+//! batching policy, horizon, seed, residency cap,
 //! and load scale — so sweeps are parallel, memoized, and persistable
 //! exactly like the CNN and transformer paths. The cached value is the
 //! capacity-planning headline
@@ -31,11 +32,14 @@ use crate::sim::{simulate, simulate_with_profiles};
 /// Fingerprint-schema version for serving points: bump when the
 /// simulation semantics change so persisted caches from older runs are
 /// invalidated wholesale. (v2: generator stages + processor-sharing
-/// discipline entered the key set.)
-const SERVE_KEY_SCHEMA: u64 = 2;
+/// discipline entered the key set; v3: the continuous-batching policy
+/// and each model's re-lowerable generator recipe entered it.)
+const SERVE_KEY_SCHEMA: u64 = 3;
 
 /// Stable fingerprint of a model mix: every model's name, lowered
-/// workload stream, decode-step streams, offered rate, and SLO.
+/// workload stream, decode-step streams, generator recipe (when one is
+/// recorded — two mixes with identical lowered stages but different
+/// re-lowering recipes batch differently), offered rate, and SLO.
 pub fn mix_fingerprint(models: &[ServedModel]) -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(SERVE_KEY_SCHEMA);
@@ -47,6 +51,17 @@ pub fn mix_fingerprint(models: &[ServedModel]) -> u64 {
         h.write_usize(m.decode_steps.len());
         for step in &m.decode_steps {
             h.write_u64(workloads_fingerprint(step));
+        }
+        match &m.generator_spec {
+            None => h.write_u64(0),
+            Some(spec) => {
+                h.write_u64(1);
+                spec.arch.hash(&mut h);
+                h.write_u64(u64::from(spec.prompt_len));
+                h.write_u64(u64::from(spec.batch));
+                h.write_u64(u64::from(spec.precision.weight_bits));
+                h.write_u64(u64::from(spec.precision.activation_bits));
+            }
         }
         h.write_f64(m.rate_rps);
         h.write_f64(m.slo_ms);
@@ -64,6 +79,7 @@ pub fn serve_key(cfg: &ServeConfig) -> u64 {
     h.write_u64(mix_fingerprint(&cfg.models));
     h.write_u64(cfg.policy.tag());
     h.write_u64(cfg.sharing.tag());
+    h.write_u64(cfg.batching.tag());
     h.write_f64(cfg.duration_s);
     h.write_u64(cfg.seed);
     h.write_usize(cfg.max_concurrency);
@@ -245,6 +261,45 @@ mod tests {
         gen.models[0].decode_steps = vec![gen.models[0].workloads.clone()];
         assert_ne!(serve_key(&cfg), serve_key(&gen));
         assert_ne!(mix_fingerprint(&cfg.models), mix_fingerprint(&gen.models));
+        // The batching policy changes the schedule (and the batch cap
+        // changes the profile planes), so both must rotate the key.
+        use lumos_dse::BatchPolicy;
+        assert_ne!(
+            serve_key(&cfg),
+            serve_key(&cfg.clone().with_batching(BatchPolicy::continuous(1)))
+        );
+        assert_ne!(
+            serve_key(&cfg.clone().with_batching(BatchPolicy::continuous(2))),
+            serve_key(&cfg.clone().with_batching(BatchPolicy::continuous(4)))
+        );
+        // Two mixes with identical lowered stages but different
+        // re-lowering recipes batch differently: the recorded
+        // generator spec is part of the mix identity.
+        let spec_a = ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            16,
+            2,
+            1,
+            Precision::int8(),
+            5.0,
+            500.0,
+        );
+        let mut spec_none = spec_a.clone();
+        spec_none.generator_spec = None;
+        assert_ne!(
+            mix_fingerprint(std::slice::from_ref(&spec_a)),
+            mix_fingerprint(&[spec_none])
+        );
+        let mut deeper_prompt = spec_a.clone();
+        deeper_prompt
+            .generator_spec
+            .as_mut()
+            .expect("spec")
+            .prompt_len += 1;
+        assert_ne!(
+            mix_fingerprint(&[spec_a]),
+            mix_fingerprint(&[deeper_prompt])
+        );
     }
 
     #[test]

@@ -10,21 +10,28 @@
 //!   including closed-loop token **generators** —
 //!   [`ServedModel::generator`] runs each request through a prefill
 //!   plus one KV-cached decode step per emitted token) and the
-//!   traffic/scheduling knobs ([`ServeConfig`])
+//!   traffic/scheduling knobs ([`ServeConfig`], including the
+//!   [`BatchPolicy`] decode-batching discipline)
 //! * [`profile`] — per-model, per-stage service times tabulated at
 //!   every contention level through
-//!   [`Runner::run_workloads_scaled`](lumos_core::runner::Runner::run_workloads_scaled)
+//!   [`Runner::run_workloads_scaled`](lumos_core::runner::Runner::run_workloads_scaled),
+//!   plus 2-D stage × batch decode planes for continuous batching
 //! * [`sim`] — the open-loop discrete-event core ([`simulate`]):
 //!   seeded Poisson arrivals, pluggable admission policies
 //!   ([`ServePolicy`]: FIFO, round-robin, shortest-job-first,
 //!   SLO-aware earliest-deadline-first), and processor-sharing
 //!   contention under a [`SharePolicy`] — uniform `1/k` slices of
 //!   every MAC class and interposer link, or SLO-pressure-weighted
-//!   shares (EDF slack)
+//!   shares (EDF slack). Under [`BatchPolicy::Continuous`],
+//!   co-resident generations of one model coalesce into shared decode
+//!   ticks — one batched GEMV per tick, prefills admitted at tick
+//!   boundaries, finished generations evicted mid-flight
 //! * [`report`] — [`ServeReport`]: per-model and aggregate throughput,
 //!   queueing delay and latency percentiles (p50/p95/p99 from exact
-//!   sorted samples), time-to-first-token and per-token latency for
-//!   generator streams, per-class utilization, power, energy per bit
+//!   sorted samples), time-to-first-token, per-token latency, and
+//!   sustained tokens/sec for generator streams, decode-tick batch
+//!   occupancy ([`BatchStats`]), horizon-censoring counts, per-class
+//!   utilization, power, energy per bit
 //! * [`dse`] — fingerprinted, memoized capacity sweeps over
 //!   [`ServeAxes`] (offered load × policy) × platform through the
 //!   `lumos_dse` engine
@@ -71,14 +78,14 @@ pub mod profile;
 pub mod report;
 pub mod sim;
 
-pub use config::{ServeConfig, ServedModel};
+pub use config::{GeneratorSpec, ServeConfig, ServedModel};
 pub use dse::{serve_key, ServePoint};
 pub use error::ServeError;
 pub use profile::{build_profiles, ModelProfile, ServiceProfiles};
-pub use report::{ModelServeStats, Percentiles, ServeReport};
+pub use report::{BatchStats, ModelServeStats, Percentiles, ServeReport};
 pub use sim::{simulate, simulate_with_profiles};
 
 // The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
 // with fingerprints and grids); re-export it so serving callers need
 // one import.
-pub use lumos_dse::{ServeAxes, ServePolicy, SharePolicy};
+pub use lumos_dse::{BatchPolicy, ServeAxes, ServePolicy, SharePolicy};

@@ -44,6 +44,16 @@ pub struct ModelProfile {
     /// `k` streams share the platform uniformly, seconds. Nondecreasing
     /// in `k` within a stage.
     pub stages: Vec<Vec<f64>>,
+    /// Continuous-batching decode tables: `batched[b-1][s-1][k-1]` is
+    /// the latency of decode stage `s` when `b` co-resident generations
+    /// coalesce into **one** batched execution stream holding a `1/k`
+    /// slice of the platform, seconds. Plane `b = 1` is the decode
+    /// columns of [`stages`](Self::stages), copied bit-for-bit; plane
+    /// `b` is tabulated to contention depth `max_concurrency - b + 1`
+    /// (a `b`-deep group leaves at most that many execution streams).
+    /// Empty for single-pass models and for profiles built without
+    /// continuous batching.
+    pub batched: Vec<Vec<Vec<f64>>>,
     /// Energy of one isolated request across all stages, joules
     /// (time-sharing conserves the dynamic work; static power is
     /// accounted platform-wide).
@@ -106,28 +116,87 @@ impl ModelProfile {
     ///
     /// Panics if `stage` is out of range or `share` is not in `(0, 1]`.
     pub fn stage_service_at_share(&self, stage: usize, share: f64) -> f64 {
-        let table = &self.stages[stage];
-        assert!(share > 0.0 && share <= 1.0, "share {share} outside (0, 1]");
-        let k_max = table.len();
-        // Exact table hit (uniform 1/k shares land here bit-for-bit).
-        for (j, &s) in table.iter().enumerate() {
-            if share == 1.0 / (j + 1) as f64 {
-                return s;
-            }
-        }
-        let v = 1.0 / share; // virtual residency
-        if v >= k_max as f64 {
-            // Beyond the table: proportional slowdown from the deepest
-            // tabulated point.
-            return table[k_max - 1] * (v / k_max as f64);
-        }
-        // Bracket v between consecutive integer residencies.
-        let lo = v.floor().max(1.0) as usize;
-        let hi = (lo + 1).min(k_max);
-        let t_lo = table[lo - 1];
-        let t_hi = table[hi - 1];
-        t_lo + (v - lo as f64) * (t_hi - t_lo)
+        table_service_at_share(&self.stages[stage], share)
     }
+
+    /// Deepest decode-tick batch the continuous-batching tables cover
+    /// (0 when the profile was built without them).
+    pub fn max_batch(&self) -> usize {
+        self.batched.len()
+    }
+
+    /// Contention depth every decode stage of batch plane `b` is
+    /// tabulated for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero or beyond [`max_batch`](Self::max_batch).
+    pub fn batched_depth(&self, b: usize) -> usize {
+        self.batched[b - 1]
+            .iter()
+            .map(|s| s.len())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Service time of one decode tick: decode stage `stage` with `b`
+    /// generations coalesced, as one of `k` execution streams, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is not a decode stage (`>= 1`), or `b`/`k`
+    /// exceed the tabulated planes.
+    pub fn batched_stage_service(&self, stage: usize, b: usize, k: usize) -> f64 {
+        assert!(stage >= 1, "stage 0 (prefill) is never batched");
+        self.batched[b - 1][stage - 1][k - 1]
+    }
+
+    /// [`batched_stage_service`](Self::batched_stage_service) at an
+    /// arbitrary platform share in `(0, 1]` — the weighted-sharing
+    /// lookup over batch plane `b`, interpolated exactly like
+    /// [`stage_service_at_share`](Self::stage_service_at_share) (plane
+    /// `b = 1` therefore agrees with it bit-for-bit on decode stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is not a decode stage, `b` exceeds the planes,
+    /// or `share` is not in `(0, 1]`.
+    pub fn batched_stage_service_at_share(&self, stage: usize, b: usize, share: f64) -> f64 {
+        assert!(stage >= 1, "stage 0 (prefill) is never batched");
+        table_service_at_share(&self.batched[b - 1][stage - 1], share)
+    }
+}
+
+/// Share-space lookup over one tabulated contention column: exact hits
+/// at the uniform `1/k` shares return tabulated values bit-for-bit,
+/// shares in between interpolate linearly in virtual residency
+/// (`v = 1/share`), and shares below `1/K` extrapolate proportionally
+/// (`service ∝ v`) — the exact processor-sharing asymptote.
+///
+/// # Panics
+///
+/// Panics if `share` is not in `(0, 1]` or the table is empty.
+fn table_service_at_share(table: &[f64], share: f64) -> f64 {
+    assert!(share > 0.0 && share <= 1.0, "share {share} outside (0, 1]");
+    let k_max = table.len();
+    // Exact table hit (uniform 1/k shares land here bit-for-bit).
+    for (j, &s) in table.iter().enumerate() {
+        if share == 1.0 / (j + 1) as f64 {
+            return s;
+        }
+    }
+    let v = 1.0 / share; // virtual residency
+    if v >= k_max as f64 {
+        // Beyond the table: proportional slowdown from the deepest
+        // tabulated point.
+        return table[k_max - 1] * (v / k_max as f64);
+    }
+    // Bracket v between consecutive integer residencies.
+    let lo = v.floor().max(1.0) as usize;
+    let hi = (lo + 1).min(k_max);
+    let t_lo = table[lo - 1];
+    let t_hi = table[hi - 1];
+    t_lo + (v - lo as f64) * (t_hi - t_lo)
 }
 
 /// The mix's profiles plus the platform-wide capacity denominators.
@@ -202,9 +271,49 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
             }
         }
 
+        // Continuous-batching decode planes. Plane 1 is the decode
+        // columns of the per-stream table (identical workloads at
+        // identical contention — copied so it is bit-for-bit exact,
+        // free, and keeps `max_batch = 1` ≡ per-stream by
+        // construction). Deeper planes re-lower each decode step with
+        // `b` generations coalesced and tabulate it at every contention
+        // level a `b`-deep group can coexist with
+        // (`1..=max_concurrency - b + 1` execution streams).
+        let batched = if cfg.batching.is_continuous() && m.n_stages() > 1 {
+            let mut planes = vec![stages[1..].to_vec()];
+            if m.generator_spec.is_some() {
+                for b in 2..=cfg.effective_max_batch() {
+                    let depth = cfg.max_concurrency - b + 1;
+                    let mut plane = Vec::with_capacity(m.decode_steps.len());
+                    for step in 0..m.decode_steps.len() {
+                        let wl = m
+                            .decode_step_at_batch(step, b as u32)
+                            .expect("generator spec presence checked above");
+                        let label = format!("{} [step {step} x{b}]", m.name);
+                        let mut col = Vec::with_capacity(depth);
+                        for k in 1..=depth {
+                            let report = runner.run_workloads_scaled(
+                                &cfg.platform,
+                                &label,
+                                &wl,
+                                &ContentionModel::of_resident_streams(k),
+                            )?;
+                            col.push(report.total_latency.as_secs_f64());
+                        }
+                        plane.push(col);
+                    }
+                    planes.push(plane);
+                }
+            }
+            planes
+        } else {
+            Vec::new()
+        };
+
         models.push(ModelProfile {
             name: m.name.clone(),
             stages,
+            batched,
             energy_j,
             bits,
             class_unit_seconds,

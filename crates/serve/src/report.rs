@@ -1,7 +1,7 @@
 //! Serving reports: per-model and aggregate traffic statistics.
 
 use lumos_core::{MacClass, Platform};
-use lumos_dse::{DseMetrics, ServePolicy, SharePolicy};
+use lumos_dse::{BatchPolicy, DseMetrics, ServePolicy, SharePolicy};
 
 /// Latency summary from exact sorted samples (nearest-rank
 /// percentiles, no interpolation). All figures are milliseconds; an
@@ -68,9 +68,19 @@ pub struct ModelServeStats {
     pub queue_delay: Percentiles,
     /// The model's latency SLO, milliseconds.
     pub slo_ms: f64,
-    /// Fraction of served requests that met the SLO (1.0 when nothing
-    /// was served).
+    /// Fraction of served requests that met the SLO. **0.0 when nothing
+    /// was served** — a model that arrives but completes nothing is
+    /// failing its SLO, not trivially meeting it.
     pub slo_attainment: f64,
+    /// Requests admitted to residency but still executing (or awaiting
+    /// a batch boundary) when the horizon cut the simulation off. These
+    /// contribute no latency or queue-delay samples — see the
+    /// horizon-censoring note on [`simulate`](crate::sim::simulate).
+    pub in_flight: u64,
+    /// Requests still waiting for admission at the horizon. Together
+    /// with [`in_flight`](Self::in_flight):
+    /// `arrived == served + in_flight + queued_at_horizon`.
+    pub queued_at_horizon: u64,
     /// Time-to-first-token (arrival → prefill completion) of generator
     /// requests whose prefill finished inside the horizon (a
     /// generation the horizon later truncates still emitted its first
@@ -86,6 +96,51 @@ pub struct ModelServeStats {
     /// each request is the prefill's, covered by [`ttft`](Self::ttft)
     /// and not double-counted here. Zero for single-pass models.
     pub tokens: u64,
+    /// Sustained decode-token throughput: [`tokens`](Self::tokens) over
+    /// the horizon, tokens/second. Zero for single-pass models.
+    pub tokens_per_s: f64,
+}
+
+/// Batch-occupancy statistics of the continuous-batching scheduler:
+/// how many generations each decode tick actually coalesced. All
+/// zeros under [`BatchPolicy::PerStream`], where no ticks run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchStats {
+    /// Decode ticks executed inside the horizon (one batched-GEMV
+    /// stage each).
+    pub ticks: u64,
+    /// Mean generations per tick.
+    pub mean_occupancy: f64,
+    /// Median generations per tick (nearest-rank).
+    pub p50_occupancy: f64,
+    /// 95th-percentile generations per tick (nearest-rank).
+    pub p95_occupancy: f64,
+    /// Largest tick batch observed.
+    pub max_occupancy: f64,
+}
+
+impl BatchStats {
+    /// Summarizes per-tick batch sizes (one sample per completed decode
+    /// tick). Empty samples give the all-zero default, so per-stream
+    /// runs stay comparable with `==`.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return BatchStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite batch sizes"));
+        let rank = |q: f64| -> f64 {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.max(1) - 1]
+        };
+        BatchStats {
+            ticks: sorted.len() as u64,
+            mean_occupancy: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_occupancy: rank(0.50),
+            p95_occupancy: rank(0.95),
+            max_occupancy: sorted[sorted.len() - 1],
+        }
+    }
 }
 
 /// The result of one open-loop serving simulation.
@@ -101,6 +156,8 @@ pub struct ServeReport {
     pub policy: ServePolicy,
     /// Processor-sharing discipline used.
     pub sharing: SharePolicy,
+    /// Decode-batching policy used.
+    pub batching: BatchPolicy,
     /// Simulated horizon, seconds.
     pub duration_s: f64,
     /// Arrival seed.
@@ -126,6 +183,12 @@ pub struct ServeReport {
     /// Aggregate per-token latency over every token emitted inside the
     /// horizon (all zeros when the mix has no generators).
     pub aggregate_per_token: Percentiles,
+    /// Aggregate sustained decode-token throughput, tokens/second
+    /// (zero when the mix has no generators).
+    pub aggregate_tokens_per_s: f64,
+    /// Decode-tick batch occupancy (all zeros under
+    /// [`BatchPolicy::PerStream`]).
+    pub batch: BatchStats,
     /// Compute-demand utilization per MAC class: served unit-seconds of
     /// demand over available unit-seconds, in [`MacClass::all`] order.
     pub class_utilization: [f64; 4],

@@ -430,7 +430,10 @@ mod tests {
         let ops = decode_ops(&gpt2, 512, 1);
         // embed + 12 × 10 + final_norm + lm_head + lm_head_softmax.
         assert_eq!(ops.len(), 1 + 12 * 10 + 3);
-        let scores = ops.iter().find(|o| o.name == "l0_scores").unwrap();
+        let scores = ops
+            .iter()
+            .find(|o| o.name == "l0_scores")
+            .expect("decode layer 0 lowers a score GEMV");
         assert_eq!(
             scores.class,
             KernelClass::Gemm {
@@ -449,7 +452,10 @@ mod tests {
     fn kv_write_is_pure_output_traffic() {
         let gpt2 = zoo::gpt2_small();
         let ops = decode_ops(&gpt2, 128, 4);
-        let w = ops.iter().find(|o| o.kind == OpKind::KvWrite).unwrap();
+        let w = ops
+            .iter()
+            .find(|o| o.kind == OpKind::KvWrite)
+            .expect("every decode layer appends to the KV cache");
         assert_eq!(w.weight_elems, 0);
         assert_eq!(w.input_elems, 0);
         assert_eq!(w.output_elems, 2 * 4 * 768);

@@ -453,7 +453,10 @@ mod tests {
         let ops = transformer_ops(&bert, 128, 1);
         // embed + embed_norm + 12 × 9 + pooler.
         assert_eq!(ops.len(), 2 + 12 * 9 + 1);
-        let scores = ops.iter().find(|o| o.name == "l0_scores").unwrap();
+        let scores = ops
+            .iter()
+            .find(|o| o.name == "l0_scores")
+            .expect("BERT layer 0 lowers a score GEMM");
         assert_eq!(
             scores.class,
             KernelClass::Gemm {
@@ -474,7 +477,7 @@ mod tests {
             let ops = transformer_ops(&bert, s, 1);
             ops.iter()
                 .find(|o| o.kind == OpKind::ScoreSoftmax)
-                .unwrap()
+                .expect("every attention layer lowers a score softmax")
                 .input_elems
         };
         assert_eq!(at(128), 12 * 128 * 128);
@@ -529,7 +532,10 @@ mod tests {
         let a = transformer_ops(&vit, 64, 1);
         let b = transformer_ops(&vit, 512, 1);
         assert_eq!(a, b, "patch models ignore the requested seq");
-        let scores = a.iter().find(|o| o.kind == OpKind::Scores).unwrap();
+        let scores = a
+            .iter()
+            .find(|o| o.kind == OpKind::Scores)
+            .expect("ViT lowers a score GEMM");
         assert_eq!(
             scores.class,
             KernelClass::Gemm {

@@ -154,7 +154,10 @@ mod tests {
                                               // … but the logits GEMM and softmax are still scheduled.
         assert!(gpt2.tied_lm_head);
         let ops = crate::ops::transformer_ops(&gpt2, 128, 1);
-        let head = ops.iter().find(|o| o.name == "lm_head").unwrap();
+        let head = ops
+            .iter()
+            .find(|o| o.name == "lm_head")
+            .expect("GPT-2 lowers an LM head");
         assert_eq!(head.weight_elems, 50_257 * 768);
         assert_eq!(head.macs, 128 * 50_257 * 768);
         assert!(ops.iter().any(|o| o.name == "lm_head_softmax"));

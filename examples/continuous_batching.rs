@@ -1,0 +1,143 @@
+//! Continuous token-level batching: how much decode throughput does
+//! coalescing buy?
+//!
+//! A GPT-2-small generator stream (prompt 32, 12 decode tokens per
+//! request) is offered to the 2.5D photonic and 2.5D electrical
+//! platforms at a rate that saturates per-stream decode, then served
+//! twice from identical arrivals: once with legacy per-stream decode
+//! (every resident generation advances through its own KV-cached GEMV
+//! steps) and once under `BatchPolicy::Continuous` (co-resident
+//! generations of the model coalesce into shared decode ticks — one
+//! batched GEMV per tick, new prefills admitted at tick boundaries,
+//! finished generations evicted mid-flight).
+//!
+//! The table compares sustained tokens/sec, time-to-first-token, and
+//! decode-tick batch occupancy. Both platforms gain: on SiPh the
+//! decode step is weight-bandwidth-dominated, and a 4-deep tick
+//! streams the weights once for four generations; on Elec the small
+//! GEMV transfers are latency-bound, and a full group occupies a
+//! single processor-sharing slice instead of one per generation.
+//!
+//! The example also proves the scheduler is deterministic: re-running
+//! each configuration reproduces the report lines byte-for-byte.
+//!
+//! ```text
+//! cargo run --release --example continuous_batching
+//! ```
+
+use lumos::prelude::*;
+use lumos_bench::{Align, Table};
+
+const SEED: u64 = 2026;
+const MAX_CONCURRENCY: usize = 16;
+const MAX_BATCH: usize = 4;
+const PROMPT_LEN: u32 = 32;
+const N_TOKENS: u32 = 12;
+
+/// One saturating GPT-2-small generator stream.
+fn mix(rate_rps: f64) -> Vec<ServedModel> {
+    use lumos::dnn::workload::Precision;
+    vec![ServedModel::generator(
+        &xformer_zoo::gpt2_small(),
+        PROMPT_LEN,
+        N_TOKENS,
+        1,
+        Precision::int8(),
+        rate_rps,
+        1_000.0,
+    )]
+}
+
+fn base(platform: Platform, rate_rps: f64, duration_s: f64) -> ServeConfig {
+    ServeConfig::new(PlatformConfig::paper_table1(), platform, mix(rate_rps))
+        .with_duration_s(duration_s)
+        .with_seed(SEED)
+        .with_max_concurrency(MAX_CONCURRENCY)
+}
+
+/// Serves the same offered load under `batching`, returning the report
+/// and its rendered table row.
+fn serve(
+    cfg: &ServeConfig,
+    batching: BatchPolicy,
+) -> Result<(ServeReport, Vec<String>), Box<dyn std::error::Error>> {
+    let cfg = cfg.clone().with_batching(batching);
+    let profiles = lumos::serve::build_profiles(&cfg)?;
+    let report = lumos::serve::simulate_with_profiles(&cfg, &profiles)?;
+    let m = &report.models[0];
+    let row = vec![
+        batching.label().to_owned(),
+        format!("{:.1}", report.offered_rps()),
+        format!("{:.1}", report.aggregate_throughput_rps),
+        format!("{:.0}", report.aggregate_tokens_per_s),
+        format!("{:.2}", report.aggregate_ttft.p50_ms),
+        format!("{:.2}", report.aggregate_per_token.p50_ms),
+        format!("{}", m.in_flight + m.queued_at_horizon),
+        if report.batch.ticks == 0 {
+            "-".to_owned()
+        } else {
+            format!(
+                "{:.2}/{:.0}",
+                report.batch.mean_occupancy, report.batch.max_occupancy
+            )
+        },
+    ];
+    Ok((report, row))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "GPT-2-small generators (prompt {PROMPT_LEN}, {N_TOKENS} tokens/request, int8),\n\
+         open-loop Poisson arrivals, {MAX_CONCURRENCY} resident streams, seed {SEED}:\n\
+         per-stream decode vs continuous batching (max_batch {MAX_BATCH}) at the same\n\
+         offered load.\n"
+    );
+
+    let mut rendered_all = String::new();
+    for (platform, rate_rps, duration_s) in [
+        (Platform::Siph2p5D, 400.0, 0.25),
+        (Platform::Elec2p5D, 30.0, 1.5),
+    ] {
+        let cfg = base(platform, rate_rps, duration_s);
+        let mut table = Table::new(&[
+            ("decode", Align::Left),
+            ("offered/s", Align::Right),
+            ("served/s", Align::Right),
+            ("tok/s", Align::Right),
+            ("TTFT p50 (ms)", Align::Right),
+            ("tok p50 (ms)", Align::Right),
+            ("censored", Align::Right),
+            ("occ mean/max", Align::Right),
+        ]);
+        let (per_stream, row) = serve(&cfg, BatchPolicy::PerStream)?;
+        table.row(row);
+        let (batched, row) = serve(&cfg, BatchPolicy::continuous(MAX_BATCH))?;
+        table.row(row);
+        let rendered = table.render();
+        println!("--- {platform} ({duration_s} s at {rate_rps} rps) ---");
+        print!("{rendered}");
+
+        assert!(
+            batched.aggregate_tokens_per_s > per_stream.aggregate_tokens_per_s,
+            "{platform}: continuous batching must sustain more tokens/sec \
+             ({} vs {})",
+            batched.aggregate_tokens_per_s,
+            per_stream.aggregate_tokens_per_s
+        );
+        println!(
+            "continuous batching sustains {:.2}x the tokens/sec of per-stream decode\n\
+             at a mean decode-tick occupancy of {:.2}.\n",
+            batched.aggregate_tokens_per_s / per_stream.aggregate_tokens_per_s,
+            batched.batch.mean_occupancy
+        );
+        rendered_all.push_str(&rendered);
+
+        // Identical seeds must reproduce both reports byte-for-byte.
+        let (ps2, _) = serve(&cfg, BatchPolicy::PerStream)?;
+        let (cb2, _) = serve(&cfg, BatchPolicy::continuous(MAX_BATCH))?;
+        assert_eq!(per_stream, ps2, "per-stream rerun must be bit-identical");
+        assert_eq!(batched, cb2, "batched rerun must be bit-identical");
+    }
+    println!("determinism: every configuration re-simulated bit-identically.");
+    Ok(())
+}

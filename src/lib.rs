@@ -55,7 +55,8 @@ pub mod prelude {
     };
     pub use lumos_dnn::zoo;
     pub use lumos_dse::{
-        DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob, XformerAxes,
+        BatchPolicy, DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob,
+        XformerAxes,
     };
     pub use lumos_serve::{simulate, ServeConfig, ServeReport, ServedModel};
     pub use lumos_sim::SimTime;
