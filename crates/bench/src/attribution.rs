@@ -1,0 +1,85 @@
+//! Rendering `lumos_trace` attribution summaries as aligned tables.
+//!
+//! The tracer answers "where does the nanosecond go" with raw
+//! [`Attribution`] rows; this module turns them into the same
+//! aligned-text [`Table`] every harness and example prints through.
+
+use crate::table::{Align, Table};
+use lumos_trace::{Attribution, TraceEvent};
+
+/// Renders the top-`k` span-time buckets of `events` as an aligned
+/// table: category, span count, total milliseconds, and share of all
+/// attributed span time.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_bench::attribution_table;
+/// use lumos_trace::Tracer;
+///
+/// let tracer = Tracer::ring(16);
+/// tracer.span(1, 0, "kernel:gemm", "fc", 0, 2_000_000, Vec::new());
+/// tracer.span(1, 2, "link:hbm", "weights", 0, 6_000_000, Vec::new());
+/// let out = attribution_table(&tracer.drain(), 10).render();
+/// assert!(out.starts_with("where"));
+/// assert!(out.contains("link:hbm"));
+/// assert!(out.contains("75.0%"));
+/// ```
+pub fn attribution_table(events: &[TraceEvent], k: usize) -> Table {
+    let attr = Attribution::of_spans(events);
+    let mut t = Table::new(&[
+        ("where", Align::Left),
+        ("spans", Align::Right),
+        ("total (ms)", Align::Right),
+        ("share", Align::Right),
+    ]);
+    for row in attr.top_k(k) {
+        t.row(vec![
+            row.cat.clone(),
+            row.count.to_string(),
+            format!("{:.3}", row.total_ps as f64 / 1e9),
+            format!("{:.1}%", attr.share(row) * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_trace::Tracer;
+
+    fn traced_events() -> Vec<TraceEvent> {
+        let tracer = Tracer::ring(64);
+        tracer.span(1, 1, "kernel:conv3x3", "c1", 0, 3_000_000_000, Vec::new());
+        tracer.span(1, 1, "kernel:gemm", "fc", 0, 1_000_000_000, Vec::new());
+        tracer.span(1, 3, "link:phnet", "acts", 0, 4_000_000_000, Vec::new());
+        tracer.instant(1, 0, "request", "arrive", 0, Vec::new());
+        tracer.drain()
+    }
+
+    #[test]
+    fn table_ranks_categories_and_formats_shares() {
+        let out = attribution_table(&traced_events(), 10).render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 categories:\n{out}");
+        assert!(lines[1].starts_with("link:phnet"));
+        assert!(lines[1].contains("4.000"));
+        assert!(lines[1].ends_with("50.0%"));
+        assert!(lines[2].starts_with("kernel:conv3x3"));
+        assert!(lines[3].ends_with("12.5%"));
+    }
+
+    #[test]
+    fn top_k_truncates_rows() {
+        let t = attribution_table(&traced_events(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn no_spans_renders_header_only() {
+        let t = attribution_table(&[], 5);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "where spans total (ms) share\n");
+    }
+}

@@ -34,8 +34,10 @@
 use lumos_core::{summarize, Platform, PlatformConfig, PlatformSummary, RunReport, Runner};
 use lumos_dnn::Model;
 
+pub mod attribution;
 pub mod table;
 
+pub use attribution::attribution_table;
 pub use table::{Align, Table};
 
 /// Parses a `--threads N` / `--threads=N` override out of a command

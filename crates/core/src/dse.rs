@@ -21,9 +21,9 @@ use lumos_phnet::ReconfigPolicy;
 use lumos_photonics::modulator::ModulationFormat;
 
 pub use lumos_dse::{
-    available_threads, parallel_map, pareto_front, pareto_front_by, refine_axes, DecodeAxes,
-    DseAxes, DseMetrics, DsePoint, MemoCache, ServeAxes, ServePolicy, SharePolicy, StableHasher,
-    SweepJob, SweepStats, XformerAxes,
+    available_threads, engine_stats_line, parallel_map, pareto_front, pareto_front_by, refine_axes,
+    DecodeAxes, DseAxes, DseMetrics, DsePoint, MemoCache, ServeAxes, ServePolicy, SharePolicy,
+    StableHasher, SweepJob, SweepStats, XformerAxes,
 };
 
 use crate::config::{MacClassConfig, PlatformConfig};

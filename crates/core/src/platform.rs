@@ -30,6 +30,18 @@ impl Platform {
             Platform::Siph2p5D => "2.5D-CrossLight-SiPh",
         }
     }
+
+    /// This platform's stable process id in `lumos_trace` exports, so
+    /// traces of different platforms land in distinct Perfetto process
+    /// groups and can be merged side by side. Pid 0 is reserved for
+    /// non-platform engines (the DSE pool).
+    pub fn trace_pid(self) -> u32 {
+        match self {
+            Platform::Monolithic => 1,
+            Platform::Elec2p5D => 2,
+            Platform::Siph2p5D => 3,
+        }
+    }
 }
 
 impl fmt::Display for Platform {

@@ -22,6 +22,7 @@ use lumos_hbm::HbmStack;
 use lumos_noc::{Coord, MeshNetwork};
 use lumos_phnet::network::PhotonicInterposer;
 use lumos_sim::{BandwidthServer, SimTime};
+use lumos_trace::{ArgValue, Tracer};
 
 use crate::config::{MacClass, PlatformConfig};
 use crate::contention::ContentionModel;
@@ -47,6 +48,31 @@ use crate::report::{EnergyBreakdown, LayerReport, RunReport};
 #[derive(Debug, Clone)]
 pub struct Runner {
     cfg: PlatformConfig,
+    tracer: Tracer,
+}
+
+// Trace lanes (tids) of one platform run: the rolled-up per-layer op on
+// lane 0, its end-aligned compute span on lane 1, and the two link
+// families (HBM vs. interposer/bus fabric) on lanes 2 and 3.
+const TID_OP: u32 = 0;
+const TID_COMPUTE: u32 = 1;
+const TID_HBM: u32 = 2;
+const TID_NET: u32 = 3;
+
+/// The trace category of `class` — the kernel-shape attribution
+/// dimension (`kernel:conv3x3`, `kernel:gemv`, …) the summary rollup
+/// groups by.
+fn kernel_label(class: lumos_dnn::workload::KernelClass) -> String {
+    use lumos_dnn::workload::KernelClass;
+    match class {
+        KernelClass::Conv { k } => format!("conv{k}x{k}"),
+        KernelClass::Depthwise { k } => format!("depthwise{k}x{k}"),
+        KernelClass::Dense => "dense".to_owned(),
+        KernelClass::Gemm { .. } if class.is_gemv() => "gemv".to_owned(),
+        KernelClass::Gemm { .. } => "gemm".to_owned(),
+        KernelClass::Softmax => "softmax".to_owned(),
+        KernelClass::Norm => "norm".to_owned(),
+    }
 }
 
 enum Backend {
@@ -68,9 +94,31 @@ enum Backend {
 }
 
 impl Runner {
-    /// Creates a runner for `cfg`.
+    /// Creates a runner for `cfg` (tracing off).
     pub fn new(cfg: PlatformConfig) -> Self {
-        Runner { cfg }
+        Runner {
+            cfg,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Attaches a [`Tracer`]: every subsequent run emits per-layer op
+    /// spans (lane 0), end-aligned compute spans categorized by kernel
+    /// shape (lane 1), and per-link-family stream spans for HBM and the
+    /// platform fabric (lanes 2–3), plus end-of-run energy counters —
+    /// all on the virtual clock, at the platform's
+    /// [`Platform::trace_pid`]. Tracing never perturbs the simulated
+    /// numbers; with [`Tracer::off`] (the [`Runner::new`] default) the
+    /// cost is one branch per emission site.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer runs emit through ([`Tracer::off`] unless
+    /// [`Runner::with_tracer`] attached one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The configuration in force.
@@ -149,6 +197,20 @@ impl Runner {
         let bw_share = contention.bandwidth_share();
         let calib = &self.cfg.calibration;
         let mut backend = self.build_backend(platform, contention)?;
+
+        let trace_pid = platform.trace_pid();
+        let net_cat = match platform {
+            Platform::Siph2p5D => "link:phnet",
+            Platform::Elec2p5D => "link:mesh",
+            Platform::Monolithic => "link:bus",
+        };
+        if self.tracer.enabled() {
+            self.tracer.name_process(trace_pid, platform.label());
+            self.tracer.name_thread(trace_pid, TID_OP, "op");
+            self.tracer.name_thread(trace_pid, TID_COMPUTE, "compute");
+            self.tracer.name_thread(trace_pid, TID_HBM, "link:hbm");
+            self.tracer.name_thread(trace_pid, TID_NET, net_cat);
+        }
 
         // Unit models and per-class unit counts (scaled for monolithic).
         let scale = |n: usize| -> usize {
@@ -231,15 +293,22 @@ impl Runner {
             } else {
                 start
             };
-            let comm_in_fin = match &mut backend {
+            // The two link families finish independently (HBM channel
+            // vs. interposer/bus fabric) so the trace can attribute the
+            // stream to each; `max` is commutative, so folding them
+            // separately leaves `comm_in_fin` bit-identical to the
+            // historical single running max.
+            let (hbm_in_fin, net_in_fin) = match &mut backend {
                 Backend::Siph { net, hbm } => {
                     let hbm_w = hbm.read(weight_issue, w.weight_bits).finish;
                     let hbm_a = hbm.read(start, w.input_bits).finish;
-                    let mut fin = hbm_w.max(hbm_a);
+                    let mut net_fin = SimTime::ZERO;
                     for &c in &placement.chiplets {
-                        fin = fin.max(net.read_unicast(weight_issue, c, weight_shard).finish);
+                        net_fin =
+                            net_fin.max(net.read_unicast(weight_issue, c, weight_shard).finish);
                     }
-                    fin.max(net.read_broadcast(start, w.input_bits).finish)
+                    net_fin = net_fin.max(net.read_broadcast(start, w.input_bits).finish);
+                    (hbm_w.max(hbm_a), net_fin)
                 }
                 Backend::Elec {
                     net,
@@ -250,9 +319,9 @@ impl Runner {
                 } => {
                     let hbm_w = hbm.read(weight_issue, w.weight_bits).finish;
                     let hbm_a = hbm.read(start, w.input_bits).finish;
-                    let mut fin = hbm_w.max(hbm_a);
+                    let mut net_fin = SimTime::ZERO;
                     for &c in &placement.chiplets {
-                        fin = fin.max(
+                        net_fin = net_fin.max(
                             net.transfer_packets(
                                 weight_issue,
                                 *mem,
@@ -265,16 +334,24 @@ impl Runner {
                     }
                     let dsts: Vec<Coord> =
                         placement.chiplets.iter().map(|&c| positions[c]).collect();
-                    fin.max(net.broadcast_packets(start, *mem, &dsts, w.input_bits, *packet_bits))
+                    net_fin = net_fin.max(net.broadcast_packets(
+                        start,
+                        *mem,
+                        &dsts,
+                        w.input_bits,
+                        *packet_bits,
+                    ));
+                    (hbm_w.max(hbm_a), net_fin)
                 }
                 Backend::Mono { bus, hbm } => {
                     let hbm_w = hbm.read(weight_issue, w.weight_bits).finish;
                     let hbm_a = hbm.read(start, w.input_bits).finish;
                     let w_grant = bus.serve(weight_issue, w.weight_bits);
                     let a_grant = bus.serve(start, w.input_bits);
-                    hbm_w.max(hbm_a).max(w_grant.finish).max(a_grant.finish)
+                    (hbm_w.max(hbm_a), w_grant.finish.max(a_grant.finish))
                 }
             };
+            let comm_in_fin = hbm_in_fin.max(net_in_fin);
             prev_start = Some(start);
 
             // Compute overlaps the inbound stream (double buffering): it
@@ -282,14 +359,15 @@ impl Runner {
             let compute_span = SimTime::from_secs_f64(compute_s);
             let compute_fin = comm_in_fin.max(start + compute_span);
 
-            // Outbound write-back.
-            let layer_fin = match &mut backend {
+            // Outbound write-back, again split by link family.
+            let (hbm_out_fin, net_out_fin) = match &mut backend {
                 Backend::Siph { net, hbm } => {
-                    let mut fin = hbm.write(compute_fin, w.output_bits).finish;
+                    let hbm_fin = hbm.write(compute_fin, w.output_bits).finish;
+                    let mut net_fin = SimTime::ZERO;
                     for &c in &placement.chiplets {
-                        fin = fin.max(net.write(compute_fin, c, output_shard).finish);
+                        net_fin = net_fin.max(net.write(compute_fin, c, output_shard).finish);
                     }
-                    fin
+                    (hbm_fin, net_fin)
                 }
                 Backend::Elec {
                     net,
@@ -298,9 +376,10 @@ impl Runner {
                     positions,
                     packet_bits,
                 } => {
-                    let mut fin = hbm.write(compute_fin, w.output_bits).finish;
+                    let hbm_fin = hbm.write(compute_fin, w.output_bits).finish;
+                    let mut net_fin = SimTime::ZERO;
                     for &c in &placement.chiplets {
-                        fin = fin.max(
+                        net_fin = net_fin.max(
                             net.transfer_packets(
                                 compute_fin,
                                 positions[c],
@@ -311,15 +390,78 @@ impl Runner {
                             .finish,
                         );
                     }
-                    fin
+                    (hbm_fin, net_fin)
                 }
                 Backend::Mono { bus, hbm } => {
-                    let fin = hbm.write(compute_fin, w.output_bits).finish;
-                    fin.max(bus.serve(compute_fin, w.output_bits).finish)
+                    let hbm_fin = hbm.write(compute_fin, w.output_bits).finish;
+                    (hbm_fin, bus.serve(compute_fin, w.output_bits).finish)
                 }
             };
+            let layer_fin = hbm_out_fin.max(net_out_fin);
 
             bits_moved += w.total_bits();
+
+            if self.tracer.enabled() {
+                let kernel = kernel_label(w.class);
+                self.tracer.span(
+                    trace_pid,
+                    TID_OP,
+                    "op",
+                    &w.name,
+                    t.as_ps(),
+                    layer_fin.saturating_sub(t).as_ps(),
+                    vec![
+                        ("class", ArgValue::from(format!("{:?}", placement.class))),
+                        ("kernel", ArgValue::from(kernel.as_str())),
+                        ("bits", ArgValue::U64(w.total_bits())),
+                    ],
+                );
+                self.tracer.span(
+                    trace_pid,
+                    TID_COMPUTE,
+                    &format!("kernel:{kernel}"),
+                    &w.name,
+                    compute_fin.saturating_sub(compute_span).as_ps(),
+                    compute_span.as_ps(),
+                    Vec::new(),
+                );
+                self.tracer.span(
+                    trace_pid,
+                    TID_HBM,
+                    "link:hbm",
+                    &w.name,
+                    weight_issue.as_ps(),
+                    hbm_in_fin.saturating_sub(weight_issue).as_ps(),
+                    vec![("dir", ArgValue::from("in"))],
+                );
+                self.tracer.span(
+                    trace_pid,
+                    TID_NET,
+                    net_cat,
+                    &w.name,
+                    weight_issue.as_ps(),
+                    net_in_fin.saturating_sub(weight_issue).as_ps(),
+                    vec![("dir", ArgValue::from("in"))],
+                );
+                self.tracer.span(
+                    trace_pid,
+                    TID_HBM,
+                    "link:hbm",
+                    &w.name,
+                    compute_fin.as_ps(),
+                    hbm_out_fin.saturating_sub(compute_fin).as_ps(),
+                    vec![("dir", ArgValue::from("out"))],
+                );
+                self.tracer.span(
+                    trace_pid,
+                    TID_NET,
+                    net_cat,
+                    &w.name,
+                    compute_fin.as_ps(),
+                    net_out_fin.saturating_sub(compute_fin).as_ps(),
+                    vec![("dir", ArgValue::from("out"))],
+                );
+            }
 
             layers.push(LayerReport {
                 name: w.name.clone(),
@@ -371,16 +513,29 @@ impl Runner {
             }
         };
 
+        let energy = EnergyBreakdown {
+            mac_j: mac_active_j + mac_idle_j,
+            network_j,
+            memory_j,
+            digital_j: calib.digital_static_w * total_s,
+        };
+        if self.tracer.enabled() {
+            let end_ps = t.as_ps();
+            self.tracer
+                .counter(trace_pid, "energy.mac_j", end_ps, energy.mac_j);
+            self.tracer
+                .counter(trace_pid, "energy.network_j", end_ps, energy.network_j);
+            self.tracer
+                .counter(trace_pid, "energy.memory_j", end_ps, energy.memory_j);
+            self.tracer
+                .counter(trace_pid, "energy.digital_j", end_ps, energy.digital_j);
+        }
+
         Ok(RunReport {
             model: model_name.to_owned(),
             platform: *platform,
             total_latency: t,
-            energy: EnergyBreakdown {
-                mac_j: mac_active_j + mac_idle_j,
-                network_j,
-                memory_j,
-                digital_j: calib.digital_static_w * total_s,
-            },
+            energy,
             bits_moved,
             layers,
         })
@@ -816,6 +971,56 @@ mod tests {
             )
             .expect_err("zero share must be rejected");
         assert!(err.to_string().contains("share"));
+    }
+
+    #[test]
+    fn traced_run_identical_to_untraced_and_attributes_every_layer() {
+        use lumos_trace::{Attribution, EventKind};
+        let plain = runner();
+        for p in Platform::all() {
+            let base = plain.run(&p, &zoo::lenet5()).expect("untraced run");
+            let traced_runner = runner().with_tracer(Tracer::ring(1 << 14));
+            let traced = traced_runner.run(&p, &zoo::lenet5()).expect("traced run");
+            // Tracing must not perturb a single simulated number.
+            assert_eq!(base.total_latency, traced.total_latency, "{p}");
+            assert_eq!(base.energy, traced.energy, "{p}");
+            assert_eq!(base.bits_moved, traced.bits_moved, "{p}");
+
+            let events = traced_runner.tracer().drain();
+            let op_spans = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Span { .. }) && e.cat == "op")
+                .count();
+            assert_eq!(op_spans, traced.layers.len(), "{p}: one op span per layer");
+            assert!(
+                events
+                    .iter()
+                    .all(|e| e.pid == p.trace_pid() || e.cat == "__metadata"),
+                "{p}: events land in the platform's process"
+            );
+            let attribution = Attribution::of_spans(&events);
+            assert!(
+                attribution
+                    .rows()
+                    .iter()
+                    .any(|r| r.cat.starts_with("kernel:")),
+                "{p}: kernel categories attributed"
+            );
+            assert!(
+                attribution
+                    .rows()
+                    .iter()
+                    .any(|r| r.cat.starts_with("link:")),
+                "{p}: link categories attributed"
+            );
+            let energy_counters = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Counter { .. }))
+                .count();
+            assert_eq!(energy_counters, 4, "{p}: four energy counters");
+        }
+        // The default runner traces nothing at zero cost.
+        assert!(!plain.tracer().enabled());
     }
 
     #[test]

@@ -310,7 +310,8 @@ mod tests {
     #[test]
     fn sequential_push_chains_shapes() {
         let mut m = base();
-        m.push("c1", Layer::conv(4, 3, 1, Padding::Same)).unwrap();
+        m.push("c1", Layer::conv(4, 3, 1, Padding::Same))
+            .expect("same-padded conv fits the 8x8 input");
         m.push(
             "p",
             Layer::MaxPool {
@@ -319,9 +320,12 @@ mod tests {
                 padding: Padding::Valid,
             },
         )
-        .unwrap();
-        m.push("f", Layer::Flatten).unwrap();
-        let id = m.push("d", Layer::dense(10)).unwrap();
+        .expect("2x2 pool divides the 8x8 feature map");
+        m.push("f", Layer::Flatten)
+            .expect("flatten accepts any shape");
+        let id = m
+            .push("d", Layer::dense(10))
+            .expect("dense accepts a flattened vector");
         assert_eq!(m.output_shape_of(id), TensorShape::vector(10));
         assert_eq!(m.nodes().len(), 4);
     }
@@ -331,11 +335,13 @@ mod tests {
         let mut m = base();
         let a = m
             .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
-            .unwrap();
+            .expect("same-padded conv fits the 8x8 input");
         let b = m
             .add_node("c2", Layer::conv_nb(8, 3, 1, Padding::Same), vec![a])
-            .unwrap();
-        let s = m.add_node("add", Layer::Add, vec![a, b]).unwrap();
+            .expect("branch conv matches the residual shape");
+        let s = m
+            .add_node("add", Layer::Add, vec![a, b])
+            .expect("matching shapes must merge");
         assert_eq!(m.output_shape_of(s), TensorShape::chw(8, 8, 8));
     }
 
@@ -344,10 +350,10 @@ mod tests {
         let mut m = base();
         let a = m
             .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
-            .unwrap();
+            .expect("same-padded conv fits the 8x8 input");
         let b = m
             .add_node("c2", Layer::conv_nb(4, 3, 1, Padding::Same), vec![a])
-            .unwrap();
+            .expect("narrower branch conv is itself valid");
         let err = m.add_node("add", Layer::Add, vec![a, b]).unwrap_err();
         assert_eq!(err, ModelError::AddShapeMismatch { node: "add".into() });
     }
@@ -357,11 +363,13 @@ mod tests {
         let mut m = base();
         let a = m
             .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
-            .unwrap();
+            .expect("same-padded conv fits the 8x8 input");
         let b = m
             .add_node("c2", Layer::conv_nb(4, 3, 1, Padding::Same), vec![a])
-            .unwrap();
-        let cat = m.add_node("cat", Layer::Concat, vec![a, b]).unwrap();
+            .expect("branch conv keeps the spatial shape");
+        let cat = m
+            .add_node("cat", Layer::Concat, vec![a, b])
+            .expect("same spatial shapes must concatenate");
         assert_eq!(m.output_shape_of(cat), TensorShape::chw(12, 8, 8));
     }
 
@@ -370,7 +378,7 @@ mod tests {
         let mut m = base();
         let a = m
             .push("c1", Layer::conv_nb(8, 3, 1, Padding::Same))
-            .unwrap();
+            .expect("same-padded conv fits the 8x8 input");
         let err = m.add_node("add", Layer::Add, vec![a]).unwrap_err();
         assert!(matches!(err, ModelError::BadFanIn { got: 1, .. }));
     }
@@ -388,12 +396,16 @@ mod tests {
     #[test]
     fn counting_layers() {
         let mut m = base();
-        m.push("c1", Layer::conv(4, 3, 1, Padding::Same)).unwrap();
-        m.push("bn", Layer::BatchNorm).unwrap();
+        m.push("c1", Layer::conv(4, 3, 1, Padding::Same))
+            .expect("same-padded conv fits the 8x8 input");
+        m.push("bn", Layer::BatchNorm)
+            .expect("batch norm preserves any shape");
         m.push("dw", Layer::depthwise_nb(3, 1, Padding::Same))
-            .unwrap();
-        m.push("f", Layer::Flatten).unwrap();
-        m.push("d", Layer::dense(10)).unwrap();
+            .expect("same-padded depthwise fits the feature map");
+        m.push("f", Layer::Flatten)
+            .expect("flatten accepts any shape");
+        m.push("d", Layer::dense(10))
+            .expect("dense accepts a flattened vector");
         assert_eq!(m.conv_layer_count(), 2);
         assert_eq!(m.fc_layer_count(), 1);
         assert_eq!(m.weighted_nodes().count(), 3);
@@ -402,7 +414,8 @@ mod tests {
     #[test]
     fn summary_mentions_name() {
         let mut m = base();
-        m.push("c1", Layer::conv(4, 3, 1, Padding::Same)).unwrap();
+        m.push("c1", Layer::conv(4, 3, 1, Padding::Same))
+            .expect("same-padded conv fits the 8x8 input");
         assert!(m.summary().starts_with("t: params="));
     }
 }

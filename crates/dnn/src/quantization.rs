@@ -259,7 +259,8 @@ mod tests {
         use crate::layer::Layer;
         use crate::shape::TensorShape;
         let mut m = Model::new("norm_only", TensorShape::chw(64, 8, 1));
-        m.push("ln", Layer::LayerNorm).unwrap();
+        m.push("ln", Layer::LayerNorm)
+            .expect("layer norm preserves any shape");
         let q = extract_quantized_workloads(
             &m,
             &QuantizationScheme {

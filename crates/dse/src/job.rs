@@ -19,8 +19,21 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use lumos_trace::Tracer;
+
 use crate::cache::MemoCache;
 use crate::point::DseMetrics;
+
+/// The trace pid of the DSE engine (platforms own pids 1–3 via
+/// `Platform::trace_pid`; the pool is not a platform).
+const DSE_PID: u32 = 0;
+
+/// The virtual duration of one evaluation slot in the pool's trace:
+/// 1 µs of trace time per round. The sweep simulator has no wall
+/// clock — the trace renders the pool's *occupancy schedule* (which
+/// worker evaluated which point, in which dealing round), not elapsed
+/// time.
+const TRACE_TICK_PS: u64 = 1_000_000;
 
 /// Environment variable overriding the worker-thread count
 /// (`LUMOS_DSE_THREADS=2`); useful to pin CI machines with few cores.
@@ -152,20 +165,38 @@ impl SweepStats {
 pub struct SweepJob<P> {
     points: Vec<P>,
     threads: usize,
+    tracer: Tracer,
 }
 
 impl<P: Sync> SweepJob<P> {
-    /// A job over `points` with the default worker count.
+    /// A job over `points` with the default worker count (tracing off).
     pub fn new(points: Vec<P>) -> Self {
         SweepJob {
             points,
             threads: available_threads(),
+            tracer: Tracer::off(),
         }
     }
 
     /// Overrides the worker count (0 restores the default).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = if n == 0 { available_threads() } else { n };
+        self
+    }
+
+    /// Attaches a [`Tracer`]: [`SweepJob::run_memoized`] emits
+    /// cumulative `cache.hits` / `cache.misses` counters over the key
+    /// scan, one pool-worker span per evaluated point, and final
+    /// `sweep.*` totals, all at pid 0 (`lumos_dse`).
+    ///
+    /// Worker spans render the **virtual round-robin schedule** —
+    /// evaluated point `j` occupies worker `j % threads` in dealing
+    /// round `j / threads`, each round lasting 1 µs of trace time —
+    /// not the wall-clock scheduling, which is nondeterministic. The
+    /// events are emitted post-hoc from the calling thread, so traces
+    /// are byte-identical regardless of thread count or interleaving.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -221,6 +252,30 @@ impl<P: Sync> SweepJob<P> {
             }
         }
 
+        // Key-scan counters: cumulative hit/miss series over the scan,
+        // one trace tick per point (emitted before evaluation so the
+        // counter timeline precedes the worker spans).
+        if self.tracer.enabled() {
+            self.tracer.name_process(DSE_PID, "lumos_dse");
+            let workers = self.threads.min(pending.len().max(1));
+            for w in 0..workers {
+                self.tracer
+                    .name_thread(DSE_PID, 1 + w as u32, &format!("worker {w}"));
+            }
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for (i, r) in results.iter().enumerate() {
+                if r.is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                let ts = (i as u64 + 1) * TRACE_TICK_PS;
+                self.tracer.counter(DSE_PID, "cache.hits", ts, hits as f64);
+                self.tracer
+                    .counter(DSE_PID, "cache.misses", ts, misses as f64);
+            }
+        }
+
         let todo: Vec<&P> = pending
             .iter()
             .map(|(_, idxs)| &self.points[idxs[0]])
@@ -234,6 +289,34 @@ impl<P: Sync> SweepJob<P> {
         }
 
         let evaluated = pending.len();
+        let threads_used = self.threads.min(evaluated.max(1));
+
+        // Pool-occupancy spans: the virtual round-robin schedule (see
+        // [`SweepJob::with_tracer`]), laid out after the key scan.
+        if self.tracer.enabled() {
+            let base = (n as u64 + 1) * TRACE_TICK_PS;
+            for (j, (k, _)) in pending.iter().enumerate() {
+                let tid = 1 + (j % threads_used) as u32;
+                let ts = base + (j / threads_used) as u64 * TRACE_TICK_PS;
+                self.tracer.span(
+                    DSE_PID,
+                    tid,
+                    "dse",
+                    "eval",
+                    ts,
+                    TRACE_TICK_PS,
+                    vec![("key", lumos_trace::ArgValue::U64(*k))],
+                );
+            }
+            let rounds = evaluated.div_ceil(threads_used) as u64;
+            let end = base + rounds * TRACE_TICK_PS;
+            self.tracer.counter(DSE_PID, "sweep.points", end, n as f64);
+            self.tracer
+                .counter(DSE_PID, "sweep.hits", end, (n - evaluated) as f64);
+            self.tracer
+                .counter(DSE_PID, "sweep.evaluated", end, evaluated as f64);
+        }
+
         let out: Vec<DseMetrics> = results
             .into_iter()
             .map(|r| r.expect("every sweep point resolved"))
@@ -244,10 +327,34 @@ impl<P: Sync> SweepJob<P> {
                 points: n,
                 hits: n - evaluated,
                 evaluated,
-                threads: self.threads.min(evaluated.max(1)),
+                threads: threads_used,
             },
         )
     }
+}
+
+/// The uniform one-line engine summary the examples print after their
+/// sweeps: worker threads plus the memo cache's cumulative hit/miss
+/// accounting and resident entries.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_dse::{engine_stats_line, MemoCache};
+///
+/// let cache = MemoCache::in_memory();
+/// assert_eq!(
+///     engine_stats_line(&cache, 4),
+///     "engine: 4 worker threads | memo cache: 0 hits / 0 misses, 0 entries resident"
+/// );
+/// ```
+pub fn engine_stats_line(cache: &MemoCache, threads: usize) -> String {
+    format!(
+        "engine: {threads} worker threads | memo cache: {} hits / {} misses, {} entries resident",
+        cache.hits(),
+        cache.misses(),
+        cache.len()
+    )
 }
 
 #[cfg(test)]
@@ -299,6 +406,56 @@ mod tests {
         let (out2, stats2) = job.run_memoized(&mut cache, |&x| x, |_| panic!("must not re-run"));
         assert!(stats2.all_hits());
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn traced_sweep_is_deterministic_across_thread_counts() {
+        use lumos_trace::export_chrome_trace;
+        let m = |v: u64| DseMetrics {
+            latency_ms: v as f64,
+            power_w: 1.0,
+            epb_nj: 1.0,
+            feasible: true,
+        };
+        let run = |threads: usize| {
+            let tracer = Tracer::ring(1 << 12);
+            let job = SweepJob::new(vec![7u64, 8, 7, 9, 8, 10, 11])
+                .threads(threads)
+                .with_tracer(tracer.clone());
+            let mut cache = MemoCache::in_memory();
+            let (out, stats) = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+            (out, stats, export_chrome_trace(&tracer.drain()))
+        };
+        let (out1, stats1, trace1) = run(1);
+        let (out4, stats4, trace4) = run(4);
+        assert_eq!(out1, out4);
+        assert_eq!(stats1.evaluated, stats4.evaluated);
+        // Thread count changes the virtual schedule's lane layout, but
+        // each count's trace is reproducible.
+        assert_eq!(trace4, run(4).2);
+        assert_ne!(trace1, trace4);
+        // Untraced jobs emit nothing and still dedup identically.
+        let tracer = Tracer::ring(64);
+        let job = SweepJob::new(vec![1u64, 1, 2]).threads(2);
+        let mut cache = MemoCache::in_memory();
+        let _ = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn engine_stats_line_reports_cache_accounting() {
+        let m = |v: u64| DseMetrics {
+            latency_ms: v as f64,
+            power_w: 1.0,
+            epb_nj: 1.0,
+            feasible: true,
+        };
+        let mut cache = MemoCache::in_memory();
+        let job = SweepJob::new(vec![1u64, 2, 1]).threads(2);
+        let _ = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+        let line = engine_stats_line(&cache, job.thread_count());
+        assert!(line.starts_with("engine: 2 worker threads | memo cache: "));
+        assert!(line.contains("2 entries resident"), "{line}");
     }
 
     #[test]

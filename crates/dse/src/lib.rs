@@ -60,7 +60,9 @@ pub mod point;
 
 pub use cache::{MemoCache, CACHE_DIR_ENV, DEFAULT_CACHE_DIR};
 pub use hash::StableHasher;
-pub use job::{available_threads, parallel_map, SweepJob, SweepStats, THREADS_ENV};
+pub use job::{
+    available_threads, engine_stats_line, parallel_map, SweepJob, SweepStats, THREADS_ENV,
+};
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
 pub use point::{
     BatchPolicy, DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, SharePolicy,

@@ -432,7 +432,8 @@ mod tests {
     fn static_full_never_scales() {
         let mut cfg = PhnetConfig::paper_table1();
         cfg.policy = ReconfigPolicy::StaticFull;
-        let mut n = PhotonicInterposer::new(cfg).unwrap();
+        let mut n =
+            PhotonicInterposer::new(cfg).expect("Table 1 interposer closes its link budget");
         let before = n.static_power_of(n.active_set());
         let _ = n.reconfigure(SimTime::from_us(1), &[0.0; 8]);
         let after = n.static_power_of(n.active_set());
@@ -443,7 +444,8 @@ mod tests {
     fn prowaves_scales_wavelengths_and_rate() {
         let mut cfg = PhnetConfig::paper_table1();
         cfg.policy = ReconfigPolicy::ProwavesWavelengths;
-        let mut n = PhotonicInterposer::new(cfg).unwrap();
+        let mut n =
+            PhotonicInterposer::new(cfg).expect("Table 1 interposer closes its link budget");
         let stall = n.reconfigure(SimTime::from_us(1), &[1e9; 8]); // tiny demand
         assert_eq!(stall, SimTime::ZERO, "wavelength gating has no PCM writes");
         assert!(n.active_set().wavelengths < 64);

@@ -330,6 +330,15 @@ pub struct ServeConfig {
     /// Multiplier on every model's `rate_rps` — the offered-load knob a
     /// saturation sweep turns.
     pub load_scale: f64,
+    /// Request-lifecycle tracing ([`lumos_trace::TraceConfig::off`] by
+    /// default). Only the traced entry points
+    /// ([`simulate_traced`](crate::sim::simulate_traced) /
+    /// [`simulate_with_profiles_traced`](crate::sim::simulate_with_profiles_traced))
+    /// consult it; [`simulate`](crate::sim::simulate) never traces.
+    /// Tracing never perturbs the report, so this knob is deliberately
+    /// **excluded** from [`serve_key`](crate::dse::serve_key)
+    /// fingerprints.
+    pub trace: lumos_trace::TraceConfig,
 }
 
 impl ServeConfig {
@@ -348,7 +357,15 @@ impl ServeConfig {
             seed: 42,
             max_concurrency: 4,
             load_scale: 1.0,
+            trace: lumos_trace::TraceConfig::off(),
         }
+    }
+
+    /// Sets the request-lifecycle trace configuration consulted by the
+    /// traced entry points.
+    pub fn with_trace(mut self, trace: lumos_trace::TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the scheduling policy.

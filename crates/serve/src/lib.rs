@@ -36,6 +36,13 @@
 //!   [`ServeAxes`] (offered load × policy) × platform through the
 //!   `lumos_dse` engine
 //!
+//! The traced entry points ([`simulate_traced`] /
+//! [`simulate_with_profiles_traced`], opted into via
+//! [`ServeConfig::trace`]) additionally return the full request
+//! lifecycle — arrival → queue → admit → prefill → decode ticks →
+//! completion — as deterministic `lumos_trace` events on the virtual
+//! clock, without perturbing the report.
+//!
 //! Everything is deterministic: identical configurations (seed
 //! included) produce bit-identical reports.
 //!
@@ -83,7 +90,7 @@ pub use dse::{serve_key, ServePoint};
 pub use error::ServeError;
 pub use profile::{build_profiles, ModelProfile, ServiceProfiles};
 pub use report::{BatchStats, ModelServeStats, Percentiles, ServeReport};
-pub use sim::{simulate, simulate_with_profiles};
+pub use sim::{simulate, simulate_traced, simulate_with_profiles, simulate_with_profiles_traced};
 
 // The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
 // with fingerprints and grids); re-export it so serving callers need

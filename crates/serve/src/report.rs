@@ -2,6 +2,7 @@
 
 use lumos_core::{MacClass, Platform};
 use lumos_dse::{BatchPolicy, DseMetrics, ServePolicy, SharePolicy};
+use lumos_sim::stats::SortedSamples;
 
 /// Latency summary from exact sorted samples (nearest-rank
 /// percentiles, no interpolation). All figures are milliseconds; an
@@ -25,26 +26,21 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Summarizes samples given in **seconds** (the simulator's unit),
-    /// reporting milliseconds. Sorts a copy; exact nearest-rank:
-    /// `p_q = sorted[ceil(q·n) - 1]`.
+    /// reporting milliseconds. Delegates to the workspace-shared
+    /// [`lumos_sim::stats::SortedSamples`] (exact nearest-rank:
+    /// `p_q = sorted[ceil(q·n) - 1]`).
     pub fn from_seconds(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Percentiles::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
-        let rank = |q: f64| -> f64 {
-            let n = sorted.len() as f64;
-            let idx = (q * n).ceil() as usize;
-            sorted[idx.max(1) - 1] * 1e3
-        };
+        let sorted = SortedSamples::from_unsorted(samples);
         Percentiles {
-            min_ms: sorted[0] * 1e3,
-            p50_ms: rank(0.50),
-            p95_ms: rank(0.95),
-            p99_ms: rank(0.99),
-            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64 * 1e3,
-            max_ms: sorted[sorted.len() - 1] * 1e3,
+            min_ms: sorted.min().expect("non-empty samples") * 1e3,
+            p50_ms: sorted.percentile(0.50) * 1e3,
+            p95_ms: sorted.percentile(0.95) * 1e3,
+            p99_ms: sorted.percentile(0.99) * 1e3,
+            mean_ms: sorted.mean() * 1e3,
+            max_ms: sorted.max().expect("non-empty samples") * 1e3,
         }
     }
 }
@@ -121,24 +117,20 @@ pub struct BatchStats {
 
 impl BatchStats {
     /// Summarizes per-tick batch sizes (one sample per completed decode
-    /// tick). Empty samples give the all-zero default, so per-stream
-    /// runs stay comparable with `==`.
+    /// tick) via the workspace-shared
+    /// [`lumos_sim::stats::SortedSamples`]. Empty samples give the
+    /// all-zero default, so per-stream runs stay comparable with `==`.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return BatchStats::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite batch sizes"));
-        let rank = |q: f64| -> f64 {
-            let idx = (q * sorted.len() as f64).ceil() as usize;
-            sorted[idx.max(1) - 1]
-        };
+        let sorted = SortedSamples::from_unsorted(samples);
         BatchStats {
             ticks: sorted.len() as u64,
-            mean_occupancy: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_occupancy: rank(0.50),
-            p95_occupancy: rank(0.95),
-            max_occupancy: sorted[sorted.len() - 1],
+            mean_occupancy: sorted.mean(),
+            p50_occupancy: sorted.percentile(0.50),
+            p95_occupancy: sorted.percentile(0.95),
+            max_occupancy: sorted.max().expect("non-empty samples"),
         }
     }
 }
@@ -265,5 +257,46 @@ mod tests {
         let b = Percentiles::from_seconds(&[1e-3, 2e-3, 3e-3]);
         assert_eq!(a, b);
         assert!(a.p50_ms <= a.p95_ms && a.p95_ms <= a.p99_ms);
+    }
+
+    /// The shared `SortedSamples` path must be **bit-identical** to the
+    /// historical inline implementation this module used before the
+    /// helper was factored into `lumos_sim::stats` — serve reports are
+    /// compared with `==` across refactors, so even one ULP of drift
+    /// (e.g. summing the mean in a different order) is a regression.
+    #[test]
+    fn shared_percentiles_bit_identical_to_legacy_inline() {
+        fn legacy(samples: &[f64]) -> Percentiles {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+            let rank = |q: f64| -> f64 {
+                let idx = (q * sorted.len() as f64).ceil() as usize;
+                sorted[idx.max(1) - 1] * 1e3
+            };
+            Percentiles {
+                min_ms: sorted[0] * 1e3,
+                p50_ms: rank(0.50),
+                p95_ms: rank(0.95),
+                p99_ms: rank(0.99),
+                mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64 * 1e3,
+                max_ms: sorted[sorted.len() - 1] * 1e3,
+            }
+        }
+        // Awkward magnitudes and a non-sorted order so any reordering of
+        // the mean's summation or a changed rank rule shows up exactly.
+        let mut samples = Vec::new();
+        let mut x = 0.123_456_789e-3;
+        for i in 0..257 {
+            x = (x * 1.618_033_988_749) % 1e-1 + 1e-6;
+            samples.push(x + i as f64 * 1e-7);
+        }
+        let got = Percentiles::from_seconds(&samples);
+        let want = legacy(&samples);
+        assert_eq!(got.min_ms.to_bits(), want.min_ms.to_bits());
+        assert_eq!(got.p50_ms.to_bits(), want.p50_ms.to_bits());
+        assert_eq!(got.p95_ms.to_bits(), want.p95_ms.to_bits());
+        assert_eq!(got.p99_ms.to_bits(), want.p99_ms.to_bits());
+        assert_eq!(got.mean_ms.to_bits(), want.mean_ms.to_bits());
+        assert_eq!(got.max_ms.to_bits(), want.max_ms.to_bits());
     }
 }

@@ -82,6 +82,7 @@ use std::collections::VecDeque;
 
 use lumos_dse::{ServePolicy, SharePolicy};
 use lumos_sim::SimRng;
+use lumos_trace::{ps_from_secs as ps, ArgValue, TraceEvent, Tracer};
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
@@ -93,6 +94,9 @@ use crate::report::{BatchStats, ModelServeStats, Percentiles, ServeReport};
 struct Pending {
     model: usize,
     arrival_s: f64,
+    /// Trace identity: position in the merged arrival order (stable
+    /// across reruns of one config).
+    id: u64,
 }
 
 /// A request executing on (a slice of) the platform.
@@ -111,6 +115,11 @@ struct Resident {
     /// Unused while the resident awaits a batch boundary (the group
     /// tracks tick progress).
     remaining: f64,
+    /// Trace identity inherited from the [`Pending`] arrival.
+    id: u64,
+    /// Trace lane (residency-slot tid) held from admission to
+    /// completion.
+    lane: u32,
 }
 
 /// A continuous-batching decode group: co-resident generations of one
@@ -123,6 +132,213 @@ struct Group {
     members: Vec<usize>,
     /// Fraction of the current decode tick still to execute.
     remaining: f64,
+    /// When the current tick started (trace only — the simulated
+    /// schedule never reads it).
+    started_s: f64,
+}
+
+/// The trace context of one serving simulation: the [`Tracer`] plus
+/// the pid/tid lane map. The pid is the platform's
+/// ([`Platform::trace_pid`](lumos_core::Platform::trace_pid)); tid 0
+/// is unused, tids `1..=max_concurrency` are residency-slot lanes (a
+/// request holds one lane from admission to completion), and one
+/// per-model queue lane follows. Every emission is keyed to the
+/// virtual clock via [`ps_from_secs`](lumos_trace::ps_from_secs) and
+/// guarded on [`Tracer::enabled`], so a disabled trace costs one
+/// branch per site and never perturbs the schedule.
+struct ServeTrace {
+    tracer: Tracer,
+    pid: u32,
+    /// Occupancy flags of the residency-slot lanes.
+    lanes: Vec<bool>,
+    queue_tid_base: u32,
+}
+
+impl ServeTrace {
+    fn new(cfg: &ServeConfig, tracer: Tracer) -> Self {
+        let pid = cfg.platform.trace_pid();
+        let queue_tid_base = 1 + cfg.max_concurrency as u32;
+        if tracer.enabled() {
+            tracer.name_process(pid, cfg.platform.label());
+            for slot in 0..cfg.max_concurrency {
+                tracer.name_thread(pid, 1 + slot as u32, &format!("slot {slot}"));
+            }
+            for (m, model) in cfg.models.iter().enumerate() {
+                tracer.name_thread(
+                    pid,
+                    queue_tid_base + m as u32,
+                    &format!("queue:{}", model.name),
+                );
+            }
+        }
+        ServeTrace {
+            tracer,
+            pid,
+            lanes: vec![false; cfg.max_concurrency],
+            queue_tid_base,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    fn queue_tid(&self, model: usize) -> u32 {
+        self.queue_tid_base + model as u32
+    }
+
+    fn lane_tid(lane: u32) -> u32 {
+        1 + lane
+    }
+
+    /// Claims the smallest free residency-slot lane (lanes mirror the
+    /// residency count, so one is always free when admitting).
+    fn alloc_lane(&mut self) -> u32 {
+        let lane = self
+            .lanes
+            .iter()
+            .position(|&held| !held)
+            .expect("a residency lane is free when admitting");
+        self.lanes[lane] = true;
+        lane as u32
+    }
+
+    fn free_lane(&mut self, lane: u32) {
+        self.lanes[lane as usize] = false;
+    }
+
+    /// Marks a request's arrival on its model's queue lane.
+    fn arrival(&self, p: &Pending) {
+        if self.enabled() {
+            self.tracer.instant(
+                self.pid,
+                self.queue_tid(p.model),
+                "request",
+                "arrive",
+                ps(p.arrival_s),
+                vec![("id", ArgValue::U64(p.id))],
+            );
+        }
+    }
+
+    /// Claims a lane for an admitted request, closing its queue span.
+    fn admit(&mut self, p: &Pending, now: f64) -> u32 {
+        let lane = self.alloc_lane();
+        if self.enabled() {
+            self.tracer.span(
+                self.pid,
+                self.queue_tid(p.model),
+                "queue",
+                "queued",
+                ps(p.arrival_s),
+                ps(now).saturating_sub(ps(p.arrival_s)),
+                vec![("id", ArgValue::U64(p.id))],
+            );
+            self.tracer.instant(
+                self.pid,
+                Self::lane_tid(lane),
+                "request",
+                "admit",
+                ps(now),
+                vec![("id", ArgValue::U64(p.id))],
+            );
+        }
+        lane
+    }
+
+    /// Closes one executed segment on a request's lane (`execute`,
+    /// `prefill`, or `decode`).
+    #[allow(clippy::too_many_arguments)]
+    fn segment(
+        &self,
+        lane: u32,
+        cat: &str,
+        name: &str,
+        start_s: f64,
+        now: f64,
+        id: u64,
+        stage: usize,
+    ) {
+        if self.enabled() {
+            self.tracer.span(
+                self.pid,
+                Self::lane_tid(lane),
+                cat,
+                name,
+                ps(start_s),
+                ps(now).saturating_sub(ps(start_s)),
+                vec![
+                    ("id", ArgValue::U64(id)),
+                    ("stage", ArgValue::U64(stage as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Marks a generation parking for the next batch boundary.
+    fn await_batch(&self, lane: u32, now: f64, id: u64) {
+        if self.enabled() {
+            self.tracer.instant(
+                self.pid,
+                Self::lane_tid(lane),
+                "request",
+                "await-batch",
+                ps(now),
+                vec![("id", ArgValue::U64(id))],
+            );
+        }
+    }
+
+    /// Closes one batched decode tick on the group anchor's lane.
+    fn decode_tick(
+        &self,
+        lane: u32,
+        name: &str,
+        start_s: f64,
+        now: f64,
+        occupancy: usize,
+        stage: usize,
+    ) {
+        if self.enabled() {
+            self.tracer.span(
+                self.pid,
+                Self::lane_tid(lane),
+                "decode-tick",
+                name,
+                ps(start_s),
+                ps(now).saturating_sub(ps(start_s)),
+                vec![
+                    ("occupancy", ArgValue::U64(occupancy as u64)),
+                    ("stage", ArgValue::U64(stage as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Marks a completion and frees the request's lane.
+    fn complete(&mut self, lane: u32, now: f64, id: u64) {
+        if self.enabled() {
+            self.tracer.instant(
+                self.pid,
+                Self::lane_tid(lane),
+                "request",
+                "complete",
+                ps(now),
+                vec![("id", ArgValue::U64(id))],
+            );
+        }
+        self.free_lane(lane);
+    }
+
+    /// Samples the `resident` / `queued` occupancy counter series.
+    fn occupancy(&self, now: f64, resident: usize, queued: usize) {
+        if self.enabled() {
+            self.tracer
+                .counter(self.pid, "resident", ps(now), resident as f64);
+            self.tracer
+                .counter(self.pid, "queued", ps(now), queued as f64);
+        }
+    }
 }
 
 /// One execution stream of the continuous-batching loop: an unbatched
@@ -214,6 +430,7 @@ fn generate_arrivals(cfg: &ServeConfig) -> Vec<Pending> {
             arrivals.push(Pending {
                 model,
                 arrival_s: t,
+                id: 0,
             });
             t += rng.exponential(rate);
         }
@@ -224,6 +441,11 @@ fn generate_arrivals(cfg: &ServeConfig) -> Vec<Pending> {
             .expect("finite arrival times")
             .then_with(|| a.model.cmp(&b.model))
     });
+    // Trace identities follow the merged arrival order, so `id` is
+    // stable across reruns and loops of the same configuration.
+    for (id, p) in arrivals.iter_mut().enumerate() {
+        p.id = id as u64;
+    }
     arrivals
 }
 
@@ -338,6 +560,50 @@ pub fn simulate_with_profiles(
     cfg: &ServeConfig,
     profiles: &ServiceProfiles,
 ) -> Result<ServeReport, ServeError> {
+    simulate_with_profiles_inner(cfg, profiles, Tracer::off())
+}
+
+/// [`simulate`] with request-lifecycle tracing: returns the report
+/// plus every [`TraceEvent`] the run emitted (arrival → queue → admit
+/// → prefill → decode → completion, with `resident` / `queued`
+/// occupancy counters), per [`ServeConfig::trace`].
+///
+/// Tracing is observational: the report is **bitwise identical** to
+/// [`simulate`]'s for the same configuration (pinned by
+/// `tests/tracing.rs`), and with [`ServeConfig::trace`] disabled the
+/// event list is empty. Feed the events to
+/// [`lumos_trace::export_chrome_trace`] for a Perfetto-loadable file —
+/// byte-identical across reruns of one configuration — or to
+/// [`lumos_trace::Attribution`] for a where-did-the-time-go rollup.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_traced(cfg: &ServeConfig) -> Result<(ServeReport, Vec<TraceEvent>), ServeError> {
+    let profiles = build_profiles(cfg)?; // validates cfg
+    simulate_with_profiles_traced(cfg, &profiles)
+}
+
+/// [`simulate_traced`] against pre-built [`ServiceProfiles`] (see
+/// [`simulate_with_profiles`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same as [`simulate_with_profiles`].
+pub fn simulate_with_profiles_traced(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+) -> Result<(ServeReport, Vec<TraceEvent>), ServeError> {
+    let tracer = cfg.trace.tracer();
+    let report = simulate_with_profiles_inner(cfg, profiles, tracer.clone())?;
+    Ok((report, tracer.drain()))
+}
+
+fn simulate_with_profiles_inner(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+    tracer: Tracer,
+) -> Result<ServeReport, ServeError> {
     cfg.validate()?;
     if profiles.models.len() != cfg.models.len() {
         return Err(ServeError::BadConfig {
@@ -417,17 +683,22 @@ pub fn simulate_with_profiles(
             }
         }
     }
+    let mut tr = ServeTrace::new(cfg, tracer);
     let tallies = if cfg.batching.is_continuous() {
-        run_continuous(cfg, profiles)
+        run_continuous(cfg, profiles, &mut tr)
     } else {
-        run_per_stream(cfg, profiles)
+        run_per_stream(cfg, profiles, &mut tr)
     };
     Ok(roll_up(cfg, profiles, tallies))
 }
 
 /// The legacy event loop: every resident request is its own execution
 /// stream at every stage.
-fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
+fn run_per_stream(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+    tr: &mut ServeTrace,
+) -> SimTallies {
     let arrivals = generate_arrivals(cfg);
     let n = cfg.models.len();
     let horizon = cfg.duration_s;
@@ -500,6 +771,28 @@ fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
             Event::StageDone(i) => {
                 let model = resident[i].model;
                 let generator = profiles.models[model].n_stages() > 1;
+                // Trace identity of the segment that just closed,
+                // captured before the resident advances or leaves.
+                let (req_id, lane, seg_stage, seg_start) = {
+                    let r = &resident[i];
+                    (r.id, r.lane, r.stage, r.last_boundary_s)
+                };
+                let seg_cat = if !generator {
+                    "execute"
+                } else if seg_stage == 0 {
+                    "prefill"
+                } else {
+                    "decode"
+                };
+                tr.segment(
+                    lane,
+                    seg_cat,
+                    &cfg.models[model].name,
+                    seg_start,
+                    now,
+                    req_id,
+                    seg_stage,
+                );
                 if generator {
                     let r = &resident[i];
                     if r.stage == 0 {
@@ -522,6 +815,7 @@ fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                     let r = resident.remove(i);
                     latencies[r.model].push(now - r.arrival_s);
                     delays[r.model].push(r.admitted_s - r.arrival_s);
+                    tr.complete(lane, now, req_id);
                 }
             }
             Event::Arrival => {
@@ -529,6 +823,7 @@ fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                 next_arrival += 1;
                 arrived[p.model] += 1;
                 queues[p.model].push_back(p);
+                tr.arrival(&p);
             }
         }
 
@@ -537,6 +832,7 @@ fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
             match select_next(cfg, profiles, &queues, &mut rr_cursor) {
                 Some(model) => {
                     let p = queues[model].pop_front().expect("selected queue non-empty");
+                    let lane = tr.admit(&p, now);
                     resident.push(Resident {
                         model: p.model,
                         arrival_s: p.arrival_s,
@@ -544,11 +840,14 @@ fn run_per_stream(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                         stage: 0,
                         last_boundary_s: now,
                         remaining: 1.0,
+                        id: p.id,
+                        lane,
                     });
                 }
                 None => break,
             }
         }
+        tr.occupancy(now, resident.len(), queues.iter().map(|q| q.len()).sum());
     }
     concurrency_integral += resident.len() as f64 * (horizon - now).max(0.0);
 
@@ -607,7 +906,11 @@ fn remove_resident(
 /// `max_batch = 1` (every group a singleton, nobody ever waits) the
 /// stream order, tie-breaking, and SLO-pressure weight summation
 /// reproduce [`run_per_stream`] bit-for-bit.
-fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
+fn run_continuous(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+    tr: &mut ServeTrace,
+) -> SimTallies {
     let arrivals = generate_arrivals(cfg);
     let n = cfg.models.len();
     let horizon = cfg.duration_s;
@@ -785,7 +1088,20 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
             Event::TickDone(j) => match anchored[j].1 {
                 Stream::Solo(ri) => {
                     let model = resident[ri].model;
+                    let (req_id, lane, seg_start) = {
+                        let r = &resident[ri];
+                        (r.id, r.lane, r.last_boundary_s)
+                    };
                     if profiles.models[model].n_stages() > 1 {
+                        tr.segment(
+                            lane,
+                            "prefill",
+                            &cfg.models[model].name,
+                            seg_start,
+                            now,
+                            req_id,
+                            0,
+                        );
                         // Prefill done: the first token is out (TTFT);
                         // the generation enters the decode phase.
                         ttfts[model].push(now - resident[ri].arrival_s);
@@ -802,6 +1118,7 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                             // A running group has space: join at its
                             // next tick boundary.
                             waiting[model].push_back(ri);
+                            tr.await_batch(lane, now, req_id);
                         } else {
                             // No space anywhere: start a fresh group
                             // immediately. (At `max_batch = 1` this is
@@ -810,18 +1127,49 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                                 model,
                                 members: vec![ri],
                                 remaining: 1.0,
+                                started_s: now,
                             });
                         }
                     } else {
+                        tr.segment(
+                            lane,
+                            "execute",
+                            &cfg.models[model].name,
+                            seg_start,
+                            now,
+                            req_id,
+                            0,
+                        );
                         let r = remove_resident(&mut resident, &mut groups, &mut waiting, ri);
                         latencies[r.model].push(now - r.arrival_s);
                         delays[r.model].push(r.admitted_s - r.arrival_s);
+                        tr.complete(lane, now, req_id);
                     }
                 }
                 Stream::Batch(gi) => {
                     let model = groups[gi].model;
                     let n_stages = profiles.models[model].n_stages();
                     tick_occupancy.push(groups[gi].members.len() as f64);
+                    if tr.enabled() {
+                        // The tick span rides the anchor member's lane,
+                        // carrying the occupancy and the stage that
+                        // just executed.
+                        let g = &groups[gi];
+                        let anchor = g
+                            .members
+                            .iter()
+                            .copied()
+                            .min()
+                            .expect("groups are never empty");
+                        tr.decode_tick(
+                            resident[anchor].lane,
+                            &cfg.models[model].name,
+                            g.started_s,
+                            now,
+                            g.members.len(),
+                            tick_stage(&resident, g),
+                        );
+                    }
                     // Every member emits one token and advances one
                     // decode stage.
                     let members = groups[gi].members.clone();
@@ -840,9 +1188,11 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                     // indices valid through the shifts).
                     finished.sort_unstable();
                     for &ri in finished.iter().rev() {
+                        let (req_id, lane) = (resident[ri].id, resident[ri].lane);
                         let r = remove_resident(&mut resident, &mut groups, &mut waiting, ri);
                         latencies[r.model].push(now - r.arrival_s);
                         delays[r.model].push(r.admitted_s - r.arrival_s);
+                        tr.complete(lane, now, req_id);
                     }
                     // Boundary admission: absorb waiters into the
                     // freed space, then regroup any leftovers so
@@ -866,12 +1216,14 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                             model,
                             members,
                             remaining: 1.0,
+                            started_s: now,
                         });
                     }
                     if groups[gi].members.is_empty() {
                         groups.remove(gi);
                     } else {
                         groups[gi].remaining = 1.0;
+                        groups[gi].started_s = now;
                     }
                 }
             },
@@ -880,6 +1232,7 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                 next_arrival += 1;
                 arrived[p.model] += 1;
                 queues[p.model].push_back(p);
+                tr.arrival(&p);
             }
         }
 
@@ -889,6 +1242,7 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
             match select_next(cfg, profiles, &queues, &mut rr_cursor) {
                 Some(model) => {
                     let p = queues[model].pop_front().expect("selected queue non-empty");
+                    let lane = tr.admit(&p, now);
                     resident.push(Resident {
                         model: p.model,
                         arrival_s: p.arrival_s,
@@ -896,11 +1250,14 @@ fn run_continuous(cfg: &ServeConfig, profiles: &ServiceProfiles) -> SimTallies {
                         stage: 0,
                         last_boundary_s: now,
                         remaining: 1.0,
+                        id: p.id,
+                        lane,
                     });
                 }
                 None => break,
             }
         }
+        tr.occupancy(now, resident.len(), queues.iter().map(|q| q.len()).sum());
     }
     let streams_at_end = resident.iter().filter(|r| r.stage == 0).count() + groups.len();
     concurrency_integral += streams_at_end as f64 * (horizon - now).max(0.0);

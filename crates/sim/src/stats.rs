@@ -203,6 +203,106 @@ impl TimeWeighted {
     }
 }
 
+/// Exact nearest-rank percentile extraction over a sorted copy of the
+/// samples — the one implementation every report path shares
+/// (`lumos_serve` latency/TTFT/occupancy summaries, bench rollups), so
+/// percentile semantics cannot drift between crates.
+///
+/// Semantics are pinned bit-for-bit to the historical serving-report
+/// code: samples sort by `partial_cmp` (finite samples only), the
+/// `q`-percentile is `sorted[max(ceil(q·n), 1) - 1]`, and the mean sums
+/// in **sorted** order (so it reproduces the pre-refactor float
+/// rounding exactly).
+///
+/// # Examples
+///
+/// ```
+/// use lumos_sim::stats::SortedSamples;
+///
+/// let s = SortedSamples::from_unsorted(&[3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.percentile(0.50), 2.0);
+/// assert_eq!(s.percentile(1.00), 4.0);
+/// assert_eq!(s.mean(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SortedSamples {
+    sorted: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Sorts a copy of `samples` ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a sample is NaN (report samples are always finite).
+    pub fn from_unsorted(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        SortedSamples { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean, summed in sorted order (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Exact nearest-rank `q`-percentile for `q` in `(0, 1]`:
+    /// `sorted[max(ceil(q·n), 1) - 1]`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[idx.max(1) - 1]
+    }
+}
+
+/// Nearest-rank percentiles of `samples` at each quantile in `qs` —
+/// the free-function face of [`SortedSamples`] for one-shot callers.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_sim::stats::percentiles;
+///
+/// let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+/// assert_eq!(percentiles(&samples, &[0.50, 0.95, 0.99]), vec![50.0, 95.0, 99.0]);
+/// ```
+pub fn percentiles(samples: &[f64], qs: &[f64]) -> Vec<f64> {
+    let sorted = SortedSamples::from_unsorted(samples);
+    qs.iter().map(|&q| sorted.percentile(q)).collect()
+}
+
 /// Fixed set of named monotone counters with stable iteration order.
 ///
 /// # Examples

@@ -1,0 +1,237 @@
+//! Deterministic Chrome trace-event JSON export.
+//!
+//! The output loads in `chrome://tracing` and Perfetto. Timestamps are
+//! the trace-event format's microseconds, rendered from the virtual
+//! clock's integer picoseconds with pure integer math
+//! (`ps / 10^6` + a six-digit fraction), so the export is
+//! byte-identical across reruns — no float formatting on the clock
+//! path, no wall clock, no map iteration.
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+
+/// Renders `ps` picoseconds as trace-event microseconds with six
+/// fractional digits (`1_500_000 ps` → `"1.500000"`).
+fn ts_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an [`ArgValue`] as a JSON value. Non-finite floats render as
+/// `null` (JSON has no NaN/inf); finite floats use Rust's deterministic
+/// shortest-roundtrip `Display`.
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Str(s) => format!("\"{}\"", escape(s)),
+        ArgValue::U64(n) => format!("{n}"),
+        ArgValue::F64(x) if x.is_finite() => format!("{x}"),
+        ArgValue::F64(_) => "null".to_owned(),
+    }
+}
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> String {
+    let fields: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape(k), arg_json(v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn event_json(e: &TraceEvent) -> String {
+    let name = escape(&e.name);
+    let cat = escape(&e.cat);
+    match &e.kind {
+        EventKind::Span { dur_ps } => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{}}}",
+            e.pid,
+            e.tid,
+            ts_us(e.ts_ps),
+            ts_us(*dur_ps),
+            args_json(&e.args)
+        ),
+        EventKind::Instant => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\
+             \"tid\":{},\"ts\":{},\"args\":{}}}",
+            e.pid,
+            e.tid,
+            ts_us(e.ts_ps),
+            args_json(&e.args)
+        ),
+        EventKind::Counter { value } => {
+            let v = if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_owned()
+            };
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"C\",\"pid\":{},\"ts\":{},\
+                 \"args\":{{\"value\":{v}}}}}",
+                e.pid,
+                ts_us(e.ts_ps)
+            )
+        }
+        EventKind::ProcessName => format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\
+             \"args\":{{\"name\":\"{name}\"}}}}",
+            e.pid
+        ),
+        EventKind::ThreadName => format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":\"{name}\"}}}}",
+            e.pid, e.tid
+        ),
+    }
+}
+
+/// Serializes `events` (in the given order) as a Chrome trace-event
+/// JSON document, one event per line.
+///
+/// Deterministic: the bytes are a pure function of the event list, so a
+/// deterministic emitter (same config, same seed) exports byte-identical
+/// files across reruns.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_trace::{export_chrome_trace, Tracer};
+///
+/// let t = Tracer::ring(16);
+/// t.name_process(1, "2.5D SiPh");
+/// t.span(1, 0, "kernel:gemm", "qkv", 0, 1_500_000, Vec::new());
+/// let json = export_chrome_trace(&t.drain());
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"dur\":1.500000"));
+/// ```
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&event_json(e));
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_integer_math() {
+        assert_eq!(ts_us(0), "0.000000");
+        assert_eq!(ts_us(999_999), "0.999999");
+        assert_eq!(ts_us(1_000_000), "1.000000");
+        assert_eq!(ts_us(1_500_000), "1.500000");
+        assert_eq!(ts_us(123_456_789_012), "123456.789012");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(arg_json(&ArgValue::F64(f64::NAN)), "null");
+        assert_eq!(arg_json(&ArgValue::F64(2.5)), "2.5");
+        assert_eq!(arg_json(&ArgValue::F64(2.0)), "2");
+    }
+
+    #[test]
+    fn export_covers_every_kind() {
+        let events = vec![
+            TraceEvent {
+                name: "SiPh".into(),
+                cat: "__metadata".into(),
+                pid: 3,
+                tid: 0,
+                ts_ps: 0,
+                kind: EventKind::ProcessName,
+                args: Vec::new(),
+            },
+            TraceEvent {
+                name: "slot 0".into(),
+                cat: "__metadata".into(),
+                pid: 3,
+                tid: 1,
+                ts_ps: 0,
+                kind: EventKind::ThreadName,
+                args: Vec::new(),
+            },
+            TraceEvent {
+                name: "prefill".into(),
+                cat: "request".into(),
+                pid: 3,
+                tid: 1,
+                ts_ps: 2_000_000,
+                kind: EventKind::Span { dur_ps: 500_000 },
+                args: vec![("id", ArgValue::U64(4))],
+            },
+            TraceEvent {
+                name: "complete".into(),
+                cat: "request".into(),
+                pid: 3,
+                tid: 1,
+                ts_ps: 2_500_000,
+                kind: EventKind::Instant,
+                args: Vec::new(),
+            },
+            TraceEvent {
+                name: "resident".into(),
+                cat: "counter".into(),
+                pid: 3,
+                tid: 0,
+                ts_ps: 2_500_000,
+                kind: EventKind::Counter { value: 2.0 },
+                args: Vec::new(),
+            },
+        ];
+        let json = export_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":2.000000,\"dur\":0.500000"));
+        assert!(json.contains("\"id\":4"));
+        // Valid JSON shape at the seams.
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}\n"));
+    }
+
+    #[test]
+    fn export_is_a_pure_function_of_events() {
+        let e = TraceEvent {
+            name: "n".into(),
+            cat: "c".into(),
+            pid: 1,
+            tid: 2,
+            ts_ps: 3,
+            kind: EventKind::Span { dur_ps: 4 },
+            args: vec![("x", ArgValue::F64(0.1))],
+        };
+        let events = vec![e.clone(), e];
+        assert_eq!(export_chrome_trace(&events), export_chrome_trace(&events));
+    }
+}

@@ -1,0 +1,132 @@
+//! The trace vocabulary: one event on the virtual sim-time axis.
+//!
+//! Everything is keyed to **virtual simulation time** in integer
+//! picoseconds — the same clock `lumos_sim::SimTime` ticks — never to
+//! the wall clock, so a trace is a pure function of the run that
+//! produced it and reruns are byte-identical.
+
+/// One argument value attached to a [`TraceEvent`].
+///
+/// Deliberately tiny: strings, integers, and floats cover everything
+/// the instrumented layers attach (kernel classes, request ids, batch
+/// occupancies), and every variant formats deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string argument (kernel class, model name, …).
+    Str(String),
+    /// An unsigned integer argument (request id, stage index, bits, …).
+    U64(u64),
+    /// A float argument (occupancy, energy, …). Formatted with Rust's
+    /// shortest-roundtrip `Display`, which is deterministic.
+    F64(f64),
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> Self {
+        ArgValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(s)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+/// What kind of mark an event leaves on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A closed interval starting at the event's timestamp — a Chrome
+    /// "complete" (`ph: "X"`) event.
+    Span {
+        /// Duration in picoseconds.
+        dur_ps: u64,
+    },
+    /// A point-in-time mark (`ph: "i"`).
+    Instant,
+    /// A sampled counter series value (`ph: "C"`); the event's name is
+    /// the series name.
+    Counter {
+        /// The series value at the event's timestamp.
+        value: f64,
+    },
+    /// Process-name metadata (`ph: "M"`, `process_name`): labels a
+    /// `pid` lane — LUMOS maps platforms (and the DSE engine) to pids.
+    ProcessName,
+    /// Thread-name metadata (`ph: "M"`, `thread_name`): labels a `tid`
+    /// row — LUMOS maps residency slots, per-model queues, and pool
+    /// workers to tids.
+    ThreadName,
+}
+
+/// One trace event on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event (or counter-series, or metadata) name.
+    pub name: String,
+    /// Category — the attribution dimension
+    /// ([`Attribution`](crate::summary::Attribution) groups span time
+    /// by category: `kernel:conv3x3`, `link:hbm`, `decode-tick`, …).
+    pub cat: String,
+    /// Process lane: the platform (or engine) the event belongs to.
+    pub pid: u32,
+    /// Thread row within the process lane: residency slot, queue, link
+    /// family, or pool worker.
+    pub tid: u32,
+    /// Timestamp on the virtual clock, picoseconds.
+    pub ts_ps: u64,
+    /// Span, instant, counter, or metadata.
+    pub kind: EventKind,
+    /// Attached arguments, in emission order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// The span duration, when this event is a span.
+    pub fn dur_ps(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Span { dur_ps } => Some(dur_ps),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_conversions() {
+        assert_eq!(ArgValue::from("x"), ArgValue::Str("x".into()));
+        assert_eq!(ArgValue::from(3u64), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(1.5f64), ArgValue::F64(1.5));
+    }
+
+    #[test]
+    fn span_duration_accessor() {
+        let mut e = TraceEvent {
+            name: "op".into(),
+            cat: "test".into(),
+            pid: 1,
+            tid: 0,
+            ts_ps: 10,
+            kind: EventKind::Span { dur_ps: 7 },
+            args: Vec::new(),
+        };
+        assert_eq!(e.dur_ps(), Some(7));
+        e.kind = EventKind::Instant;
+        assert_eq!(e.dur_ps(), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! # lumos-trace — deterministic sim-time tracing for LUMOS
+//!
+//! Every LUMOS result is deterministic: a report is a pure function of
+//! its configuration and seed. This crate makes the *path* to those
+//! results observable under the same contract — spans, instants, and
+//! counters keyed to the **virtual simulation clock** (integer
+//! picoseconds, never the wall clock), so a trace of a run is as
+//! reproducible as the run's report.
+//!
+//! * [`event`] — the vocabulary: [`TraceEvent`] spans / instants /
+//!   counters / metadata with pid/tid lanes (pid ↦ platform or engine,
+//!   tid ↦ residency slot, per-model queue, link family, or pool
+//!   worker);
+//! * [`sink`] — where events go: the no-op [`NullSink`] and the bounded
+//!   drop-oldest [`RingSink`];
+//! * [`tracer`] — the cheap-clone [`Tracer`] handle instrumented layers
+//!   emit through ([`Tracer::off`] costs one branch per call) and the
+//!   plain-data [`TraceConfig`] knob run configurations embed;
+//! * [`chrome`] — [`export_chrome_trace`]: Chrome trace-event JSON
+//!   (loads in `chrome://tracing` / Perfetto), byte-identical across
+//!   reruns;
+//! * [`summary`] — [`Attribution`]: span time grouped by category, the
+//!   flamegraph-style "where does the nanosecond go" rollup
+//!   (`lumos_bench` renders it as an aligned table).
+//!
+//! Instrumented layers: `lumos_core::Runner` (per-op spans with
+//! per-kernel-class and per-link-family attribution),
+//! `lumos_serve::sim` (the full request lifecycle: arrival → queue →
+//! admit → prefill → decode ticks → completion), and `lumos_dse`
+//! (pool-worker spans plus cache hit/miss counters).
+//!
+//! # Examples
+//!
+//! ```
+//! use lumos_trace::{export_chrome_trace, ArgValue, Attribution, Tracer};
+//!
+//! let tracer = Tracer::ring(1024);
+//! tracer.name_process(3, "2.5D SiPh");
+//! tracer.span(3, 0, "kernel:gemm", "qkv", 0, 2_000_000, vec![("bits", ArgValue::U64(1 << 20))]);
+//! tracer.span(3, 0, "link:hbm", "qkv", 0, 500_000, Vec::new());
+//!
+//! let events = tracer.drain();
+//! let attribution = Attribution::of_spans(&events);
+//! assert_eq!(attribution.rows()[0].cat, "kernel:gemm");
+//!
+//! let json = export_chrome_trace(&events);
+//! assert!(json.contains("\"ph\":\"X\""));
+//! // Same events, same bytes — always.
+//! assert_eq!(json, export_chrome_trace(&events));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod sink;
+pub mod summary;
+pub mod tracer;
+
+pub use chrome::export_chrome_trace;
+pub use event::{ArgValue, EventKind, TraceEvent};
+pub use sink::{NullSink, RingSink, Sink};
+pub use summary::{Attribution, AttributionRow};
+pub use tracer::{TraceConfig, Tracer, DEFAULT_RING_CAPACITY};
+
+/// Converts a virtual-clock time in **seconds** (the serving
+/// simulator's unit) to integer picoseconds, the trace clock.
+///
+/// Deterministic (one multiply and one round); saturates at zero for
+/// negative inputs.
+pub fn ps_from_secs(s: f64) -> u64 {
+    let ps = (s * 1e12).round();
+    if ps.is_finite() && ps > 0.0 {
+        ps as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_to_picoseconds() {
+        assert_eq!(ps_from_secs(0.0), 0);
+        assert_eq!(ps_from_secs(1.0), 1_000_000_000_000);
+        assert_eq!(ps_from_secs(1.5e-6), 1_500_000);
+        assert_eq!(ps_from_secs(-1.0), 0);
+        assert_eq!(ps_from_secs(f64::NAN), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Event sinks: where a [`Tracer`](crate::tracer::Tracer) puts what it
+//! records.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Receives recorded events.
+///
+/// Implementations must be deterministic: recording the same event
+/// sequence twice must leave the sink in the same observable state.
+pub trait Sink: Send {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+    /// Removes and returns every retained event, oldest first.
+    fn drain(&mut self) -> Vec<TraceEvent>;
+    /// Events currently retained.
+    fn len(&self) -> usize;
+    /// `true` when nothing is retained.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Events discarded so far (bounded sinks only).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// The no-op sink: discards everything. A tracer built over it — or the
+/// cheaper [`Tracer::off`](crate::tracer::Tracer::off), which skips the
+/// sink entirely — retains zero events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` events,
+/// dropping the oldest (and counting the drops) once full — memory
+/// stays bounded no matter how long a saturating serve run emits.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            name: format!("e{i}"),
+            cat: "test".into(),
+            pid: 0,
+            tid: 0,
+            ts_ps: i,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let mut s = NullSink;
+        s.record(ev(1));
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert!(s.drain().is_empty());
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut s = RingSink::with_capacity(3);
+        for i in 0..10 {
+            s.record(ev(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 7);
+        let kept = s.drain();
+        assert_eq!(
+            kept.iter().map(|e| e.ts_ps).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut s = RingSink::with_capacity(0);
+        s.record(ev(1));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.dropped(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Span-time attribution: the "where does the nanosecond go" rollup.
+//!
+//! Groups every span's duration by its category — the attribution
+//! dimension the instrumented layers encode there (`kernel:conv3x3`,
+//! `link:hbm`, `link:phnet`, `prefill`, `decode-tick`, …) — into a
+//! ranked table. `lumos_bench` renders it as an aligned-text table;
+//! the raw rows are available here for programmatic use.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One attribution bucket: a span category's total time and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// The span category attributed to.
+    pub cat: String,
+    /// Spans in the bucket.
+    pub count: u64,
+    /// Total span time, picoseconds.
+    pub total_ps: u64,
+}
+
+/// Span time grouped by category, ranked by total time (descending,
+/// ties broken by category name — deterministic).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attribution {
+    rows: Vec<AttributionRow>,
+    total_ps: u64,
+}
+
+impl Attribution {
+    /// Attributes every span in `events` to its category. Instants,
+    /// counters, and metadata are ignored.
+    pub fn of_spans(events: &[TraceEvent]) -> Self {
+        let mut rows: Vec<AttributionRow> = Vec::new();
+        let mut total_ps = 0u64;
+        for e in events {
+            let EventKind::Span { dur_ps } = e.kind else {
+                continue;
+            };
+            total_ps += dur_ps;
+            match rows.iter_mut().find(|r| r.cat == e.cat) {
+                Some(r) => {
+                    r.count += 1;
+                    r.total_ps += dur_ps;
+                }
+                None => rows.push(AttributionRow {
+                    cat: e.cat.clone(),
+                    count: 1,
+                    total_ps: dur_ps,
+                }),
+            }
+        }
+        rows.sort_by(|a, b| b.total_ps.cmp(&a.total_ps).then_with(|| a.cat.cmp(&b.cat)));
+        Attribution { rows, total_ps }
+    }
+
+    /// The ranked buckets, largest total first.
+    pub fn rows(&self) -> &[AttributionRow] {
+        &self.rows
+    }
+
+    /// The `k` largest buckets.
+    pub fn top_k(&self, k: usize) -> &[AttributionRow] {
+        &self.rows[..k.min(self.rows.len())]
+    }
+
+    /// Total attributed span time, picoseconds.
+    pub fn total_ps(&self) -> u64 {
+        self.total_ps
+    }
+
+    /// A bucket's share of the total span time (0 when nothing was
+    /// attributed).
+    pub fn share(&self, row: &AttributionRow) -> f64 {
+        if self.total_ps == 0 {
+            0.0
+        } else {
+            row.total_ps as f64 / self.total_ps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArgValue;
+
+    fn span(cat: &str, dur_ps: u64) -> TraceEvent {
+        TraceEvent {
+            name: "n".into(),
+            cat: cat.into(),
+            pid: 0,
+            tid: 0,
+            ts_ps: 0,
+            kind: EventKind::Span { dur_ps },
+            args: vec![("x", ArgValue::U64(1))],
+        }
+    }
+
+    fn instant(cat: &str) -> TraceEvent {
+        TraceEvent {
+            name: "n".into(),
+            cat: cat.into(),
+            pid: 0,
+            tid: 0,
+            ts_ps: 0,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn groups_and_ranks_by_total() {
+        let events = vec![
+            span("kernel:gemm", 10),
+            span("link:hbm", 50),
+            span("kernel:gemm", 20),
+            instant("request"),
+        ];
+        let a = Attribution::of_spans(&events);
+        assert_eq!(a.total_ps(), 80);
+        assert_eq!(a.rows().len(), 2);
+        assert_eq!(a.rows()[0].cat, "link:hbm");
+        assert_eq!(a.rows()[0].count, 1);
+        assert_eq!(a.rows()[1].cat, "kernel:gemm");
+        assert_eq!(a.rows()[1].total_ps, 30);
+        assert_eq!(a.rows()[1].count, 2);
+        assert!((a.share(&a.rows()[0]) - 0.625).abs() < 1e-12);
+        assert_eq!(a.top_k(1).len(), 1);
+        assert_eq!(a.top_k(9).len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_category_name() {
+        let a = Attribution::of_spans(&[span("b", 5), span("a", 5)]);
+        assert_eq!(a.rows()[0].cat, "a");
+        assert_eq!(a.rows()[1].cat, "b");
+    }
+
+    #[test]
+    fn empty_events_attribute_nothing() {
+        let a = Attribution::of_spans(&[instant("x")]);
+        assert_eq!(a.total_ps(), 0);
+        assert!(a.rows().is_empty());
+        assert_eq!(a, Attribution::default());
+    }
+}

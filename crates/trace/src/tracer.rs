@@ -1,0 +1,313 @@
+//! The [`Tracer`] handle the instrumented layers emit through, plus the
+//! plain-data [`TraceConfig`] knob embedded in run configurations.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::sink::{RingSink, Sink};
+
+/// Default [`RingSink`] retention when a config enables tracing without
+/// choosing a bound.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// The tracing knob a run configuration carries (e.g.
+/// `ServeConfig::trace` in `lumos_serve`): plain comparable data, not a
+/// live handle, so configurations stay `Clone + PartialEq` and
+/// fingerprintable. Build the live [`Tracer`] with
+/// [`TraceConfig::tracer`].
+///
+/// Tracing never changes what a simulation computes — reports are
+/// bit-identical with tracing on or off — so the knob is excluded from
+/// result fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether the run records events at all.
+    pub enabled: bool,
+    /// Retention bound of the in-memory ring (most recent events win).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default everywhere).
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Tracing enabled into a ring bounded at `ring_capacity` events.
+    pub fn ring(ring_capacity: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity,
+        }
+    }
+
+    /// Tracing enabled at the default retention bound.
+    pub fn enabled() -> Self {
+        TraceConfig::ring(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Builds the live handle this configuration describes:
+    /// [`Tracer::off`] when disabled, a bounded ring otherwise.
+    pub fn tracer(&self) -> Tracer {
+        if self.enabled {
+            Tracer::ring(self.ring_capacity)
+        } else {
+            Tracer::off()
+        }
+    }
+}
+
+/// A cheap-to-clone handle the instrumented layers emit events through.
+///
+/// A disabled tracer ([`Tracer::off`], the default) holds no sink at
+/// all: every emission method is a single branch and instrumentation
+/// sites guard any argument construction behind
+/// [`enabled`](Tracer::enabled), so the off cost is near zero.
+///
+/// Determinism: emission order is the caller's (single-threaded
+/// simulation loops emit in event order), timestamps are virtual-clock
+/// picoseconds, and nothing here reads the wall clock — so for a
+/// deterministic caller the drained event stream is byte-identical
+/// across reruns.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Box<dyn Sink>>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer: records nothing, costs one branch per call.
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer over a [`RingSink`] bounded at `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer::with_sink(Box::new(RingSink::with_capacity(capacity)))
+    }
+
+    /// A tracer over an arbitrary sink.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(sink))),
+        }
+    }
+
+    /// Whether emissions are recorded. Instrumentation sites should
+    /// guard argument construction behind this.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Events currently retained by the sink.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(sink) => sink.lock().expect("tracer sink lock").len(),
+            None => 0,
+        }
+    }
+
+    /// `true` when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events the sink has discarded (ring overflow).
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(sink) => sink.lock().expect("tracer sink lock").dropped(),
+            None => 0,
+        }
+    }
+
+    /// Removes and returns every retained event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(sink) => sink.lock().expect("tracer sink lock").drain(),
+            None => Vec::new(),
+        }
+    }
+
+    fn record(&self, event: TraceEvent) {
+        if let Some(sink) = &self.inner {
+            sink.lock().expect("tracer sink lock").record(event);
+        }
+    }
+
+    /// Emits a closed span `[ts_ps, ts_ps + dur_ps]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        pid: u32,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        ts_ps: u64,
+        dur_ps: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            pid,
+            tid,
+            ts_ps,
+            kind: EventKind::Span { dur_ps },
+            args,
+        });
+    }
+
+    /// Emits a point-in-time mark.
+    pub fn instant(
+        &self,
+        pid: u32,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        ts_ps: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            pid,
+            tid,
+            ts_ps,
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Emits a counter-series sample (`name` is the series).
+    pub fn counter(&self, pid: u32, name: &str, ts_ps: u64, value: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.to_owned(),
+            cat: "counter".to_owned(),
+            pid,
+            tid: 0,
+            ts_ps,
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        });
+    }
+
+    /// Names process lane `pid` (platform / engine) in the export.
+    pub fn name_process(&self, pid: u32, name: &str) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.to_owned(),
+            cat: "__metadata".to_owned(),
+            pid,
+            tid: 0,
+            ts_ps: 0,
+            kind: EventKind::ProcessName,
+            args: Vec::new(),
+        });
+    }
+
+    /// Names thread row `tid` (slot / queue / link / worker) in the
+    /// export.
+    pub fn name_thread(&self, pid: u32, tid: u32, name: &str) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.to_owned(),
+            cat: "__metadata".to_owned(),
+            pid,
+            tid,
+            ts_ps: 0,
+            kind: EventKind::ThreadName,
+            args: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        t.span(0, 0, "c", "n", 0, 1, Vec::new());
+        t.instant(0, 0, "c", "n", 0, Vec::new());
+        t.counter(0, "n", 0, 1.0);
+        t.name_process(0, "p");
+        t.name_thread(0, 0, "t");
+        assert!(t.is_empty());
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_tracer_retains_in_emission_order() {
+        let t = Tracer::ring(8);
+        assert!(t.enabled());
+        t.span(1, 2, "cat", "a", 10, 5, vec![("id", ArgValue::U64(7))]);
+        t.instant(1, 2, "cat", "b", 15, Vec::new());
+        t.counter(1, "depth", 15, 3.0);
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].dur_ps(), Some(5));
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[2].kind, EventKind::Counter { value: 3.0 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = Tracer::ring(8);
+        let u = t.clone();
+        u.instant(0, 0, "c", "n", 1, Vec::new());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn config_round_trip() {
+        assert_eq!(TraceConfig::default(), TraceConfig::off());
+        assert!(!TraceConfig::off().tracer().enabled());
+        let cfg = TraceConfig::ring(4);
+        assert!(cfg.enabled);
+        assert_eq!(cfg.ring_capacity, 4);
+        let t = cfg.tracer();
+        assert!(t.enabled());
+        for i in 0..10 {
+            t.instant(0, 0, "c", "n", i, Vec::new());
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(TraceConfig::enabled().ring_capacity, DEFAULT_RING_CAPACITY);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the tracing core: ring retention bounds,
+//! export determinism and JSON well-formedness under adversarial
+//! strings, and attribution accounting invariants.
+
+use lumos_trace::{
+    export_chrome_trace, ArgValue, Attribution, EventKind, RingSink, Sink, TraceEvent, Tracer,
+};
+use proptest::prelude::*;
+use proptest::{collection, sample, strategy::Strategy};
+
+/// Names and categories that stress the JSON escaper: quotes,
+/// backslashes, control characters, multibyte text.
+fn arb_text() -> impl Strategy<Value = String> {
+    sample::select(vec![
+        String::new(),
+        "kernel:gemm".to_owned(),
+        "a\"quoted\"name".to_owned(),
+        "back\\slash".to_owned(),
+        "new\nline\tand\rtab".to_owned(),
+        "\u{1}control\u{1f}".to_owned(),
+        "λ-link φ".to_owned(),
+    ])
+}
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    let value = sample::select(vec![
+        0.0,
+        -2.5,
+        1e300,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ]);
+    (0u32..5, 0u64..10_000_000, value).prop_map(|(tag, dur_ps, value)| match tag {
+        0 => EventKind::Span { dur_ps },
+        1 => EventKind::Instant,
+        2 => EventKind::Counter { value },
+        3 => EventKind::ProcessName,
+        _ => EventKind::ThreadName,
+    })
+}
+
+fn arb_arg() -> impl Strategy<Value = ArgValue> {
+    let float = sample::select(vec![0.25, -1.0, f64::NAN, f64::INFINITY]);
+    (0u32..3, arb_text(), 0u64..1_000, float).prop_map(|(tag, s, n, x)| match tag {
+        0 => ArgValue::Str(s),
+        1 => ArgValue::U64(n),
+        _ => ArgValue::F64(x),
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (arb_text(), arb_text()),
+        0u32..4,
+        0u32..8,
+        0u64..1_000_000_000,
+        arb_kind(),
+        collection::vec(arb_arg(), 0..3),
+    )
+        .prop_map(|((name, cat), pid, tid, ts_ps, kind, args)| TraceEvent {
+            name,
+            cat,
+            pid,
+            tid,
+            ts_ps,
+            kind,
+            // Arg keys are `&'static str` by design; the values carry
+            // the adversarial content.
+            args: args.into_iter().map(|v| ("k", v)).collect(),
+        })
+}
+
+/// Minimal JSON validity check: balanced braces/brackets outside
+/// string literals, correctly-formed escapes, no raw control
+/// characters inside strings.
+fn assert_well_formed_json(s: &str) {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    let e = chars.next().expect("escape must not end the document");
+                    if e == 'u' {
+                        for _ in 0..4 {
+                            let h = chars.next().expect("four hex digits");
+                            assert!(h.is_ascii_hexdigit(), "bad unicode escape");
+                        }
+                    } else {
+                        assert!("\"\\/bfnrt".contains(e), "bad escape '\\{e}'");
+                    }
+                }
+                '"' => in_str = false,
+                c => assert!((c as u32) >= 0x20, "raw control char in string"),
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close");
+        }
+    }
+    assert!(!in_str, "unterminated string");
+    assert_eq!(depth, 0, "unbalanced braces");
+}
+
+proptest! {
+    /// A ring of capacity `cap` retains exactly the most recent
+    /// `min(n, cap)` events and accounts for every drop.
+    #[test]
+    fn ring_retains_newest_and_counts_drops(
+        cap in 1usize..64,
+        n in 0usize..200,
+    ) {
+        let mut ring = RingSink::with_capacity(cap);
+        for i in 0..n {
+            ring.record(TraceEvent {
+                name: String::new(),
+                cat: String::new(),
+                pid: 0,
+                tid: 0,
+                ts_ps: i as u64,
+                kind: EventKind::Instant,
+                args: Vec::new(),
+            });
+        }
+        prop_assert_eq!(ring.len(), n.min(cap));
+        prop_assert_eq!(ring.dropped(), n.saturating_sub(cap) as u64);
+        let kept = ring.drain();
+        let first = n.saturating_sub(cap) as u64;
+        prop_assert!(kept.iter().zip(first..).all(|(e, i)| e.ts_ps == i));
+        prop_assert_eq!(ring.len(), 0);
+    }
+
+    /// Export is a pure function of the event list, and adversarial
+    /// names/categories/args always yield well-formed JSON, one event
+    /// per line.
+    #[test]
+    fn export_is_deterministic_and_well_formed(
+        events in collection::vec(arb_event(), 0..24),
+    ) {
+        let a = export_chrome_trace(&events);
+        let b = export_chrome_trace(&events);
+        prop_assert_eq!(&a, &b);
+        assert_well_formed_json(&a);
+        prop_assert_eq!(a.lines().count(), events.len() + 2);
+    }
+
+    /// Attribution conserves span time: bucket totals and counts sum
+    /// to the whole, rows are ranked by total descending, and shares
+    /// sum to 1 whenever any time was attributed.
+    #[test]
+    fn attribution_conserves_span_time(
+        events in collection::vec(arb_event(), 0..48),
+    ) {
+        let attr = Attribution::of_spans(&events);
+        let span_total: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Span { dur_ps } => Some(dur_ps),
+                _ => None,
+            })
+            .sum();
+        let span_count = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+            .count() as u64;
+        prop_assert_eq!(attr.total_ps(), span_total);
+        prop_assert_eq!(attr.rows().iter().map(|r| r.total_ps).sum::<u64>(), span_total);
+        prop_assert_eq!(attr.rows().iter().map(|r| r.count).sum::<u64>(), span_count);
+        prop_assert!(attr.rows().windows(2).all(|w| w[0].total_ps >= w[1].total_ps));
+        if span_total > 0 {
+            let share_sum: f64 = attr.rows().iter().map(|r| attr.share(r)).sum();
+            prop_assert!((share_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The disabled tracer is inert under any emission sequence.
+    #[test]
+    fn off_tracer_is_inert(events in collection::vec(arb_event(), 0..16)) {
+        let t = Tracer::off();
+        for e in &events {
+            match e.kind {
+                EventKind::Span { dur_ps } => {
+                    t.span(e.pid, e.tid, &e.cat, &e.name, e.ts_ps, dur_ps, Vec::new())
+                }
+                EventKind::Instant => t.instant(e.pid, e.tid, &e.cat, &e.name, e.ts_ps, Vec::new()),
+                EventKind::Counter { value } => t.counter(e.pid, &e.name, e.ts_ps, value),
+                EventKind::ProcessName => t.name_process(e.pid, &e.name),
+                EventKind::ThreadName => t.name_thread(e.pid, e.tid, &e.name),
+            }
+        }
+        prop_assert!(!t.enabled());
+        prop_assert!(t.drain().is_empty());
+        prop_assert_eq!(t.dropped(), 0);
+    }
+}

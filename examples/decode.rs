@@ -114,6 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "per-token table must rerun byte-identically"
     );
     println!("\ndeterminism: re-swept both platforms — table bytes identical (warm cache).");
+    println!(
+        "{}",
+        lumos::dse::engine_stats_line(&cache, lumos::dse::available_threads())
+    );
 
     // The photonic edge *widens* with cache depth: deeper caches mean
     // more broadcast traffic, which the mesh serializes hop by hop.

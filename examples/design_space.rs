@@ -113,6 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    println!("\n{}", lumos::dse::engine_stats_line(&cache, last.threads));
     cache.flush()?;
     Ok(())
 }

@@ -155,5 +155,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warm.points
     );
     assert!(warm.all_hits(), "second serving sweep must be 100% cached");
+    println!("{}", lumos::dse::engine_stats_line(&cache, warm.threads));
     Ok(())
 }

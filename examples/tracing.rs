@@ -1,0 +1,120 @@
+//! Tracing a serve run and a runner pass on the virtual clock.
+//!
+//! Two traced scenarios, both exported as Chrome trace-event JSON
+//! (load the files in Perfetto / `chrome://tracing`):
+//!
+//! 1. A GPT-2-small continuous-batching serve run on the 2.5D photonic
+//!    platform. The trace carries the full request lifecycle — arrival
+//!    instants on the model queue lane, queued spans, admission to a
+//!    residency slot, prefill segments, shared decode ticks with batch
+//!    occupancy, completion — plus resident/queued counters.
+//! 2. A single ResNet-50 inference through the runner with a tracer
+//!    attached: per-layer op spans, compute spans per kernel class,
+//!    HBM/photonic-link transfer spans, and energy counters. The
+//!    span-time attribution table answers "where does the nanosecond
+//!    go" without opening the trace.
+//!
+//! Everything is keyed to virtual simulation time (integer
+//! picoseconds), never the wall clock, so the exports are
+//! byte-identical across reruns — this example proves it by tracing
+//! the serve run twice and comparing both the reports and the exported
+//! JSON, and by checking the traced report against the untraced
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example tracing
+//! ```
+
+use lumos::dnn::workload::Precision;
+use lumos::prelude::*;
+use lumos_bench::attribution_table;
+
+const SEED: u64 = 2026;
+const MAX_CONCURRENCY: usize = 8;
+const MAX_BATCH: usize = 4;
+const PROMPT_LEN: u32 = 32;
+const N_TOKENS: u32 = 8;
+
+/// The traced serving scenario: one saturating GPT-2-small generator
+/// stream under continuous batching.
+fn serve_config() -> ServeConfig {
+    let mix = vec![ServedModel::generator(
+        &xformer_zoo::gpt2_small(),
+        PROMPT_LEN,
+        N_TOKENS,
+        1,
+        Precision::int8(),
+        400.0,
+        1_000.0,
+    )];
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+        .with_duration_s(0.1)
+        .with_seed(SEED)
+        .with_max_concurrency(MAX_CONCURRENCY)
+        .with_batching(BatchPolicy::continuous(MAX_BATCH))
+        .with_trace(TraceConfig::ring(1 << 16))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/trace");
+    std::fs::create_dir_all(out_dir)?;
+
+    // --- 1. Traced serve run: request lifecycle on the virtual clock.
+    let cfg = serve_config();
+    let (report, events) = simulate_traced(&cfg)?;
+    let json = export_chrome_trace(&events);
+
+    println!(
+        "serve trace: GPT-2-small generators (prompt {PROMPT_LEN}, {N_TOKENS} tokens/request),\n\
+         continuous batching (max_batch {MAX_BATCH}), {MAX_CONCURRENCY} resident streams,\n\
+         0.1 s at 400 rps on 2.5D-SiPh, seed {SEED}:"
+    );
+    println!(
+        "  {} requests served of {} arrived, {} trace events retained",
+        report.total_served,
+        report.total_arrived,
+        events.len()
+    );
+    println!("request-lifecycle time by category:");
+    print!("{}", attribution_table(&events, 6).render());
+
+    // Tracing must not perturb the schedule: the traced report is
+    // bitwise-identical to the untraced baseline.
+    let untraced = simulate(&cfg.clone().with_trace(TraceConfig::off()))?;
+    assert_eq!(report, untraced, "tracing must not perturb the report");
+
+    // Determinism: a same-seed rerun reproduces both the report and
+    // the exported JSON byte-for-byte.
+    let (report2, events2) = simulate_traced(&cfg)?;
+    let json2 = export_chrome_trace(&events2);
+    assert_eq!(report, report2, "traced rerun must be bit-identical");
+    assert_eq!(json, json2, "exports must be byte-identical across reruns");
+
+    let serve_path = out_dir.join("serve_gpt2_continuous.json");
+    std::fs::write(&serve_path, &json)?;
+    println!(
+        "wrote {} ({} bytes) — byte-identical across same-seed reruns\n",
+        serve_path.display(),
+        json.len()
+    );
+
+    // --- 2. Traced runner pass: one ResNet-50 inference, attributed.
+    let tracer = Tracer::ring(1 << 16);
+    let runner = Runner::new(PlatformConfig::paper_table1()).with_tracer(tracer.clone());
+    let run = runner.run(&Platform::Siph2p5D, &zoo::resnet50())?;
+    let run_events = tracer.drain();
+    println!(
+        "runner trace: resnet50 on 2.5D-SiPh, {:.3} ms end-to-end, {} events:",
+        run.total_latency.as_secs_f64() * 1e3,
+        run_events.len()
+    );
+    println!("span time by kernel class and link family:");
+    print!("{}", attribution_table(&run_events, 8).render());
+
+    let run_path = out_dir.join("runner_resnet50.json");
+    std::fs::write(&run_path, export_chrome_trace(&run_events))?;
+    println!("wrote {}\n", run_path.display());
+
+    println!("determinism: traced report matched the untraced baseline bitwise.");
+    Ok(())
+}

@@ -19,6 +19,8 @@
 //!   softmax/layer-norm traffic, and the BERT/GPT-2/ViT zoo
 //! * [`serve`] — multi-model inference serving: open-loop arrivals,
 //!   pluggable scheduling, processor-sharing contention, capacity sweeps
+//! * [`trace`] — deterministic sim-time tracing: spans/instants/counters
+//!   on the virtual clock, Chrome trace-event export, span attribution
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub use lumos_phnet as phnet;
 pub use lumos_photonics as photonics;
 pub use lumos_serve as serve;
 pub use lumos_sim as sim;
+pub use lumos_trace as trace;
 pub use lumos_xformer as xformer;
 
 /// The most common types for running paper experiments.
@@ -58,7 +61,8 @@ pub mod prelude {
         BatchPolicy, DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob,
         XformerAxes,
     };
-    pub use lumos_serve::{simulate, ServeConfig, ServeReport, ServedModel};
+    pub use lumos_serve::{simulate, simulate_traced, ServeConfig, ServeReport, ServedModel};
     pub use lumos_sim::SimTime;
+    pub use lumos_trace::{export_chrome_trace, Attribution, TraceConfig, Tracer};
     pub use lumos_xformer::{zoo as xformer_zoo, DecodePhase, KvCache, TransformerConfig};
 }
