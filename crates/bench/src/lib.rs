@@ -35,9 +35,11 @@ use lumos_core::{summarize, Platform, PlatformConfig, PlatformSummary, RunReport
 use lumos_dnn::Model;
 
 pub mod attribution;
+pub mod sparkline;
 pub mod table;
 
 pub use attribution::attribution_table;
+pub use sparkline::{metrics_dashboard, sparkline};
 pub use table::{Align, Table};
 
 /// Parses a `--threads N` / `--threads=N` override out of a command

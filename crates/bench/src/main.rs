@@ -1,0 +1,158 @@
+//! The `lumos-bench` CLI: a machine-readable performance snapshot of
+//! the simulator itself.
+//!
+//! `lumos-bench --json` runs a fixed micro-evaluation — a paper-grid
+//! DSE sweep (cold, then warm from the memo), one continuous-batching
+//! serving simulation, and the three-platform ResNet-50 runner
+//! comparison — and writes **one JSON object to stdout**. CI redirects
+//! it to `BENCH_<sha>.json` and archives the artifact, so throughput
+//! regressions of the engine itself leave a queryable trail.
+//!
+//! Schema contract: the key set and order are fixed (`schema` bumps on
+//! any change); simulated results (`serve`, `runner`, DSE `front`) are
+//! deterministic and byte-stable across reruns, while the wall-clock
+//! figures (`*_elapsed_s`, `*_points_per_s`) measure this machine and
+//! naturally vary. Headline figures: `dse.cold_points_per_s` (engine
+//! evaluation throughput) and `serve.sustained_tokens_per_s` (the
+//! simulated platform's decode-token throughput).
+//!
+//! ```text
+//! cargo run --release -p lumos-bench -- --json > BENCH_local.json
+//! lumos-bench --json --threads 2    # pin the worker pool
+//! ```
+
+use std::time::Instant;
+
+use lumos_bench::bench_threads;
+use lumos_core::{dse, Platform, PlatformConfig, Runner};
+use lumos_dnn::workload::Precision;
+use lumos_dse::{DseAxes, MemoCache, SweepStats};
+use lumos_metrics::json;
+use lumos_serve::{simulate, BatchPolicy, ServeConfig, ServedModel, SharePolicy};
+
+/// Bumped whenever the snapshot's key set or meaning changes.
+const SCHEMA: u64 = 1;
+
+/// The serving scenario the snapshot times: the CNN + generator mix the
+/// serve test suite pins, under continuous batching.
+fn serve_config() -> ServeConfig {
+    let mix = vec![
+        ServedModel::cnn(&lumos_dnn::zoo::lenet5(), Precision::int8(), 600.0, 5.0),
+        ServedModel::generator(
+            &lumos_xformer::zoo::gpt2_small(),
+            32,
+            4,
+            1,
+            Precision::int8(),
+            120.0,
+            1_000.0,
+        ),
+    ];
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+        .with_duration_s(0.05)
+        .with_seed(7)
+        .with_max_concurrency(4)
+        .with_batching(BatchPolicy::continuous(3))
+        .with_sharing(SharePolicy::SloPressure)
+}
+
+/// One timed sweep pass against `cache`.
+fn timed_sweep(
+    base: &PlatformConfig,
+    axes: &DseAxes,
+    model: &lumos_dnn::Model,
+    threads: usize,
+    cache: &mut MemoCache,
+) -> (Vec<lumos_dse::DsePoint>, SweepStats, f64) {
+    let t0 = Instant::now();
+    let (points, stats) = dse::sweep_with(base, axes, model, threads, Some(cache));
+    (points, stats, t0.elapsed().as_secs_f64())
+}
+
+fn snapshot_json(threads: usize) -> String {
+    // DSE throughput: the paper-conclusion grid on ResNet-50, cold
+    // (every point simulated) then warm (every point a memo hit).
+    let base = PlatformConfig::paper_table1();
+    let axes = DseAxes::paper_conclusion();
+    let model = lumos_dnn::zoo::resnet50();
+    let mut cache = MemoCache::in_memory();
+    let (points, cold, cold_s) = timed_sweep(&base, &axes, &model, threads, &mut cache);
+    let (_, warm, warm_s) = timed_sweep(&base, &axes, &model, threads, &mut cache);
+    assert!(warm.all_hits(), "second sweep must be all cache hits");
+    let front: Vec<String> = dse::pareto_front(&points)
+        .iter()
+        .map(|p| p.to_json())
+        .collect();
+    let per_s = |n: usize, s: f64| if s > 0.0 { n as f64 / s } else { f64::NAN };
+    let dse_obj = json::object(&[
+        ("points", cold.points.to_string()),
+        ("evaluated", cold.evaluated.to_string()),
+        ("cold_elapsed_s", json::num(cold_s)),
+        ("cold_points_per_s", json::num(per_s(cold.points, cold_s))),
+        ("warm_elapsed_s", json::num(warm_s)),
+        ("warm_points_per_s", json::num(per_s(warm.points, warm_s))),
+        ("front", format!("[{}]", front.join(","))),
+    ]);
+
+    // Serving throughput: deterministic simulated figures plus the
+    // wall-clock cost of producing them.
+    let cfg = serve_config();
+    let t0 = Instant::now();
+    let report = simulate(&cfg).expect("snapshot serving scenario must simulate");
+    let serve_s = t0.elapsed().as_secs_f64();
+    let serve_obj = json::object(&[
+        (
+            "sustained_tokens_per_s",
+            json::num(report.aggregate_tokens_per_s),
+        ),
+        ("sustained", report.sustained().to_string()),
+        ("p99_latency_ms", json::num(report.aggregate_latency.p99_ms)),
+        ("elapsed_s", json::num(serve_s)),
+        ("report", report.to_json()),
+    ]);
+
+    // Runner baseline: the paper's headline model on all three
+    // platforms (deterministic; drift here is a simulator change, not
+    // noise).
+    let runner = Runner::new(base);
+    let platforms: Vec<String> = Platform::all()
+        .into_iter()
+        .map(|p| {
+            let r = runner
+                .run(&p, &model)
+                .expect("Table 1 configuration must simulate");
+            json::object(&[
+                ("platform", json::string(p.label())),
+                ("latency_ms", json::num(r.total_latency.as_secs_f64() * 1e3)),
+                ("energy_j", json::num(r.energy.total_j())),
+            ])
+        })
+        .collect();
+
+    json::object(&[
+        ("schema", SCHEMA.to_string()),
+        ("generator", json::string("lumos-bench")),
+        ("threads", threads.to_string()),
+        ("dse", dse_obj),
+        ("serve", serve_obj),
+        ("runner", format!("[{}]", platforms.join(","))),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = bench_threads();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", snapshot_json(threads));
+        return;
+    }
+    eprintln!("lumos-bench: machine-readable perf snapshots of the LUMOS simulator");
+    eprintln!();
+    eprintln!("usage: lumos-bench --json [--threads N]   write one snapshot object to stdout");
+    eprintln!();
+    eprintln!("The dedicated harness binaries regenerate the paper artifacts:");
+    eprintln!("  cargo run --release -p lumos-bench --bin tables");
+    eprintln!("  cargo run --release -p lumos-bench --bin fig7");
+    eprintln!("  cargo run --release -p lumos-bench --bin breakdown");
+    std::process::exit(2);
+}

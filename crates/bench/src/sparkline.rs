@@ -1,0 +1,212 @@
+//! ASCII sparkline rendering for windowed-metrics snapshots: the
+//! terminal dashboard the examples print after metered runs.
+//!
+//! A [`MetricsSnapshot`] is a set of sparse windowed series on the
+//! virtual clock; [`metrics_dashboard`] renders each series as one
+//! fixed-width line — name, sparkline, and a kind-appropriate summary —
+//! choosing a per-window value by metric kind:
+//!
+//! * gauges plot the window's **last** sample;
+//! * `*_busy_ps` counters plot **occupancy** (window sum over window
+//!   width — a utilization fraction when one unit feeds the series);
+//! * other counters plot the window **rate per second** of virtual
+//!   time;
+//! * histograms plot the window **sample count**.
+//!
+//! Everything is deterministic: the dashboard is a pure function of the
+//! snapshot, so metered reruns of one configuration render
+//! byte-identical dashboards (pinned by the `metrics` example).
+
+use lumos_metrics::{MetricKind, MetricsSnapshot, SeriesSnapshot};
+
+/// The eight block glyphs, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as one block glyph each, scaled from
+/// `min(0, minimum)` to the maximum (so magnitudes, not just shape,
+/// survive — an all-equal positive series renders high, not low).
+/// Non-finite values render as spaces; an empty slice renders empty.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_bench::sparkline;
+///
+/// assert_eq!(sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
+/// assert_eq!(sparkline(&[3.0, 3.0]), "██");
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let mut lo = 0.0f64;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values.iter().filter(|v| v.is_finite()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if hi <= lo {
+                BLOCKS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BLOCKS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// The plotted value of one window, by metric kind (see the module
+/// docs).
+fn window_value(s: &SeriesSnapshot, w: &lumos_metrics::WindowSample) -> f64 {
+    match s.kind {
+        MetricKind::Gauge => w.last,
+        MetricKind::Counter => {
+            if s.base_name().ends_with("_busy_ps") {
+                w.sum / s.window_ps as f64
+            } else {
+                s.rate_per_s(w)
+            }
+        }
+        MetricKind::Histogram => w.count as f64,
+    }
+}
+
+/// Resamples one series onto `width` equal time columns spanning the
+/// virtual-clock origin to the series' last window end. Columns average
+/// the windows they overlap; uncovered columns are zero (an idle window
+/// is a real zero on the timeline, not a gap).
+fn resample(s: &SeriesSnapshot, width: usize) -> Vec<f64> {
+    let Some(last) = s.windows.last() else {
+        return vec![0.0; width];
+    };
+    let span = (last.start_ps + s.window_ps) as f64;
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u32; width];
+    for w in &s.windows {
+        let v = window_value(s, w);
+        let c0 = (w.start_ps as f64 / span * width as f64) as usize;
+        let c1 = (((w.start_ps + s.window_ps - 1) as f64) / span * width as f64) as usize;
+        for c in c0..=c1.min(width - 1) {
+            sums[c] += v;
+            counts[c] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect()
+}
+
+/// One summary cell for the right edge of a dashboard line.
+fn summary(s: &SeriesSnapshot) -> String {
+    match s.kind {
+        MetricKind::Gauge => format!(
+            "last={:.3}",
+            s.windows.last().map(|w| w.last).unwrap_or(0.0)
+        ),
+        MetricKind::Counter => format!("total={:.3}", s.total_sum),
+        MetricKind::Histogram => format!("n={}", s.total_count),
+    }
+}
+
+/// Renders every series of `snap` as one `name |sparkline| summary`
+/// line, sorted by name (the snapshot's order), each sparkline `width`
+/// columns wide over that series' own time span. Returns an empty
+/// string for an empty snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_bench::metrics_dashboard;
+/// use lumos_metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::windowed(1_000, 64);
+/// let c = reg.counter("tokens_total");
+/// for i in 0..8 {
+///     reg.add(c, i * 1_000, (i % 3) as f64);
+/// }
+/// let out = metrics_dashboard(&reg.snapshot(), 8);
+/// assert!(out.contains("tokens_total"));
+/// assert!(out.contains("total=7.000"));
+/// ```
+pub fn metrics_dashboard(snap: &MetricsSnapshot, width: usize) -> String {
+    let width = width.max(1);
+    let name_w = snap
+        .series
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(0)
+        .min(48);
+    let mut out = String::new();
+    for s in &snap.series {
+        let lane = sparkline(&resample(s, width));
+        out.push_str(&format!(
+            "{:<name_w$} |{lane}| {}\n",
+            s.name,
+            summary(s),
+            name_w = name_w
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_metrics::MetricsRegistry;
+
+    #[test]
+    fn sparkline_scales_from_zero() {
+        assert_eq!(sparkline(&[0.0, 7.0]), "▁█");
+        // All-equal positive values sit at the top, not the bottom.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "███");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        // Non-finite samples render as gaps without poisoning the scale.
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]), "▁ █");
+    }
+
+    #[test]
+    fn dashboard_renders_each_series_once() {
+        let reg = MetricsRegistry::windowed(1_000, 32);
+        let g = reg.gauge("depth");
+        let c = reg.counter("runner_compute_busy_ps{class=\"phot_dense\"}");
+        reg.set(g, 500, 3.0);
+        reg.set(g, 1_500, 1.0);
+        reg.add_span(c, 0, 2_000, 2_000.0);
+        let out = metrics_dashboard(&reg.snapshot(), 10);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("depth"));
+        assert!(out.contains("last=1.000"));
+        // Full occupancy across both windows: a flat, full lane.
+        let busy = out
+            .lines()
+            .find(|l| l.contains("busy_ps"))
+            .expect("busy series rendered");
+        assert!(busy.contains("██████████"), "{busy}");
+        assert!(busy.contains("total=2000.000"));
+    }
+
+    #[test]
+    fn dashboard_of_empty_snapshot_is_empty() {
+        let reg = MetricsRegistry::off();
+        assert!(metrics_dashboard(&reg.snapshot(), 16).is_empty());
+    }
+
+    #[test]
+    fn resample_covers_sparse_series_with_zeros() {
+        let reg = MetricsRegistry::windowed(1_000, 64);
+        let c = reg.counter("events_total");
+        reg.add(c, 0, 1.0);
+        reg.add(c, 9_500, 1.0);
+        let snap = reg.snapshot();
+        let s = snap.series_named("events_total").expect("registered");
+        let vals = resample(s, 10);
+        assert_eq!(vals.len(), 10);
+        assert!(vals[0] > 0.0 && vals[9] > 0.0);
+        assert!(vals[4] == 0.0, "idle middle renders as zero");
+    }
+}

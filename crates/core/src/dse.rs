@@ -310,12 +310,37 @@ pub fn sweep_with(
     threads: usize,
     cache: Option<&mut MemoCache>,
 ) -> (Vec<DsePoint>, SweepStats) {
+    sweep_metered(
+        base,
+        axes,
+        model,
+        threads,
+        cache,
+        &lumos_metrics::MetricsRegistry::off(),
+    )
+}
+
+/// [`sweep_with`] additionally metering the engine through `metrics`
+/// (see [`SweepJob::with_metrics`]): cache hit/miss counters over the
+/// key scan and evaluated-point counters over the virtual worker
+/// rounds land in the registry, without ever perturbing the sweep
+/// results.
+pub fn sweep_metered(
+    base: &PlatformConfig,
+    axes: &DseAxes,
+    model: &Model,
+    threads: usize,
+    cache: Option<&mut MemoCache>,
+    metrics: &lumos_metrics::MetricsRegistry,
+) -> (Vec<DsePoint>, SweepStats) {
     let grid: Vec<(usize, usize, f64)> = axes.points().collect();
     let configs: Vec<PlatformConfig> = grid
         .iter()
         .map(|&(w, g, s)| grid_config(base, w, g, s))
         .collect();
-    let job = SweepJob::new(configs).threads(threads);
+    let job = SweepJob::new(configs)
+        .threads(threads)
+        .with_metrics(metrics.clone());
     let platform = Platform::Siph2p5D;
     let model_fp = model_fingerprint(model);
     let (metrics, stats) = match cache {

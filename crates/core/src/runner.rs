@@ -19,6 +19,7 @@
 use lumos_dnn::workload::extract_workloads;
 use lumos_dnn::Model;
 use lumos_hbm::HbmStack;
+use lumos_metrics::{MetricId, MetricsRegistry};
 use lumos_noc::{Coord, MeshNetwork};
 use lumos_phnet::network::PhotonicInterposer;
 use lumos_sim::{BandwidthServer, SimTime};
@@ -49,6 +50,7 @@ use crate::report::{EnergyBreakdown, LayerReport, RunReport};
 pub struct Runner {
     cfg: PlatformConfig,
     tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 // Trace lanes (tids) of one platform run: the rolled-up per-layer op on
@@ -75,6 +77,67 @@ fn kernel_label(class: lumos_dnn::workload::KernelClass) -> String {
     }
 }
 
+/// Per-run metric handles: one compute-utilization counter per MAC
+/// class (weighted busy picoseconds — a window's sum divided by the
+/// window width is the class's unit-utilization), one link-occupancy
+/// counter per link family, and the MAC active-energy rate series.
+/// Built once per run when the registry is enabled, so the hot loop
+/// only touches pre-registered [`MetricId`]s.
+struct RunMeter {
+    reg: MetricsRegistry,
+    compute: Vec<(MacClass, MetricId, f64)>,
+    hbm: MetricId,
+    net: MetricId,
+    mac_active: MetricId,
+}
+
+impl RunMeter {
+    fn new(
+        reg: &MetricsRegistry,
+        platform: &Platform,
+        net_link: &str,
+        class_units: &[(MacClass, usize)],
+    ) -> Self {
+        let p = platform.label();
+        let compute = class_units
+            .iter()
+            .filter(|(_, units)| *units > 0)
+            .map(|(class, units)| {
+                let id = reg.counter(&format!(
+                    "runner_compute_busy_ps{{platform=\"{p}\",class=\"{class:?}\"}}"
+                ));
+                (*class, id, *units as f64)
+            })
+            .collect();
+        RunMeter {
+            reg: reg.clone(),
+            compute,
+            hbm: reg.counter(&format!(
+                "runner_link_busy_ps{{platform=\"{p}\",link=\"hbm\"}}"
+            )),
+            net: reg.counter(&format!(
+                "runner_link_busy_ps{{platform=\"{p}\",link=\"{net_link}\"}}"
+            )),
+            mac_active: reg.counter(&format!("runner_mac_active_j{{platform=\"{p}\"}}")),
+        }
+    }
+
+    fn compute_id(&self, class: MacClass) -> Option<(MetricId, f64)> {
+        self.compute
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .map(|(_, id, total)| (*id, *total))
+    }
+
+    /// Records a busy span on a link-family occupancy counter.
+    fn link_span(&self, id: MetricId, from: SimTime, to: SimTime) {
+        let dur = to.saturating_sub(from).as_ps();
+        if dur > 0 {
+            self.reg.add_span(id, from.as_ps(), dur, dur as f64);
+        }
+    }
+}
+
 enum Backend {
     Siph {
         net: Box<PhotonicInterposer>,
@@ -94,11 +157,12 @@ enum Backend {
 }
 
 impl Runner {
-    /// Creates a runner for `cfg` (tracing off).
+    /// Creates a runner for `cfg` (tracing and metrics off).
     pub fn new(cfg: PlatformConfig) -> Self {
         Runner {
             cfg,
             tracer: Tracer::off(),
+            metrics: MetricsRegistry::off(),
         }
     }
 
@@ -119,6 +183,28 @@ impl Runner {
     /// [`Runner::with_tracer`] attached one).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a [`MetricsRegistry`]: every subsequent run records
+    /// windowed time series on the virtual clock — per-MAC-class
+    /// compute utilization (weighted busy picoseconds), HBM and
+    /// interposer/mesh/bus link occupancy, the MAC active-energy rate,
+    /// and end-of-run energy totals per component. Series are labelled
+    /// by platform, so one registry can aggregate runs across
+    /// platforms; runs of the *same* platform overlay on the shared
+    /// virtual clock (attach a fresh registry per run to keep them
+    /// apart). Metering never perturbs the simulated numbers; with
+    /// [`MetricsRegistry::off`] (the [`Runner::new`] default) the cost
+    /// is one branch per run.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry runs record through ([`MetricsRegistry::off`]
+    /// unless [`Runner::with_metrics`] attached one).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The configuration in force.
@@ -221,6 +307,22 @@ impl Runner {
             }
         };
 
+        let meter = if self.metrics.enabled() {
+            let net_link = &net_cat["link:".len()..];
+            let class_units: Vec<(MacClass, usize)> = MacClass::all()
+                .iter()
+                .map(|&c| (c, scale(self.cfg.class(c).total_units())))
+                .collect();
+            Some(RunMeter::new(
+                &self.metrics,
+                platform,
+                net_link,
+                &class_units,
+            ))
+        } else {
+            None
+        };
+
         let mut t = SimTime::ZERO;
         let mut layers = Vec::with_capacity(workloads.len());
         let mut mac_active_j = 0.0;
@@ -240,6 +342,8 @@ impl Runner {
             // within one pass of each other). Single-share CNN layers
             // reduce to the one-class arithmetic exactly.
             let mut compute_s = 0.0f64;
+            let mut layer_mac_j = 0.0f64;
+            let mut share_samples: Vec<(MacClass, f64, f64)> = Vec::new();
             for share in &placement.shares {
                 let unit = MacUnit::new(share.class, calib);
                 let units = scale(share.units);
@@ -249,8 +353,13 @@ impl Runner {
                 let alloc = contention.unit_share(share.class);
                 let share_s = unit.compute_seconds(share.passes, units) / alloc;
                 compute_s = compute_s.max(share_s);
-                mac_active_j += unit.active_energy_j(units, share_s) * alloc;
+                let share_j = unit.active_energy_j(units, share_s) * alloc;
+                mac_active_j += share_j;
+                layer_mac_j += share_j;
                 active_idle_correction_j += unit.idle_power_w() * units as f64 * alloc * share_s;
+                if meter.is_some() {
+                    share_samples.push((share.class, share_s, units as f64 * alloc));
+                }
             }
             let n_shards = placement.chiplets.len() as u64;
             let weight_shard = w.weight_bits.div_ceil(n_shards);
@@ -463,6 +572,38 @@ impl Runner {
                 );
             }
 
+            if let Some(m) = &meter {
+                // Per-class utilization: each share's end-aligned span,
+                // weighted by the fraction of the class's units it kept
+                // busy — a window's sum over the window width is the
+                // class utilization in that window.
+                for (class, share_s, busy_units) in &share_samples {
+                    if let Some((id, total_units)) = m.compute_id(*class) {
+                        let span = SimTime::from_secs_f64(*share_s);
+                        let dur = span.as_ps();
+                        if dur > 0 && total_units > 0.0 {
+                            let start = compute_fin.saturating_sub(span).as_ps();
+                            m.reg
+                                .add_span(id, start, dur, dur as f64 * (busy_units / total_units));
+                        }
+                    }
+                }
+                // Link-family occupancy: inbound streams start at weight
+                // issue, write-back at compute finish.
+                m.link_span(m.hbm, weight_issue, hbm_in_fin);
+                m.link_span(m.net, weight_issue, net_in_fin);
+                m.link_span(m.hbm, compute_fin, hbm_out_fin);
+                m.link_span(m.net, compute_fin, net_out_fin);
+                // Energy rate: the layer's active MAC energy spread over
+                // its compute span (joules per window).
+                m.reg.add_span(
+                    m.mac_active,
+                    compute_fin.saturating_sub(compute_span).as_ps(),
+                    compute_span.as_ps(),
+                    layer_mac_j,
+                );
+            }
+
             layers.push(LayerReport {
                 name: w.name.clone(),
                 class: placement.class,
@@ -529,6 +670,21 @@ impl Runner {
                 .counter(trace_pid, "energy.memory_j", end_ps, energy.memory_j);
             self.tracer
                 .counter(trace_pid, "energy.digital_j", end_ps, energy.digital_j);
+        }
+        if let Some(m) = &meter {
+            let end_ps = t.as_ps();
+            let p = platform.label();
+            for (component, value) in [
+                ("mac", energy.mac_j),
+                ("network", energy.network_j),
+                ("memory", energy.memory_j),
+                ("digital", energy.digital_j),
+            ] {
+                let id = m.reg.counter(&format!(
+                    "runner_energy_total_j{{platform=\"{p}\",component=\"{component}\"}}"
+                ));
+                m.reg.add(id, end_ps, value);
+            }
         }
 
         Ok(RunReport {
@@ -1021,6 +1177,69 @@ mod tests {
         }
         // The default runner traces nothing at zero cost.
         assert!(!plain.tracer().enabled());
+    }
+
+    #[test]
+    fn metered_run_identical_to_unmetered_with_utilization_series() {
+        use lumos_metrics::MetricKind;
+        let plain = runner();
+        for p in Platform::all() {
+            let base = plain.run(&p, &zoo::lenet5()).expect("unmetered run");
+            // 10 µs windows resolve LeNet5's sub-ms runs.
+            let metered_runner = runner().with_metrics(MetricsRegistry::windowed(10_000_000, 256));
+            let metered = metered_runner.run(&p, &zoo::lenet5()).expect("metered run");
+            // Metering must not perturb a single simulated number.
+            assert_eq!(base.total_latency, metered.total_latency, "{p}");
+            assert_eq!(base.energy, metered.energy, "{p}");
+            assert_eq!(base.bits_moved, metered.bits_moved, "{p}");
+
+            let snap = metered_runner.metrics().snapshot();
+            assert!(
+                snap.series
+                    .iter()
+                    .any(|s| s.base_name() == "runner_compute_busy_ps"
+                        && s.total_sum > 0.0
+                        && s.kind == MetricKind::Counter),
+                "{p}: compute utilization series recorded"
+            );
+            assert!(
+                snap.series
+                    .iter()
+                    .any(|s| s.name.contains("link=\"hbm\"") && s.total_sum > 0.0),
+                "{p}: HBM occupancy recorded"
+            );
+            // Four end-of-run energy totals, each matching the report.
+            let totals: Vec<_> = snap
+                .series
+                .iter()
+                .filter(|s| s.base_name() == "runner_energy_total_j")
+                .collect();
+            assert_eq!(totals.len(), 4, "{p}");
+            let mac = totals
+                .iter()
+                .find(|s| s.name.contains("component=\"mac\""))
+                .expect("mac energy total");
+            assert_eq!(mac.total_sum, metered.energy.mac_j, "{p}");
+            // Utilization never exceeds 1: every window's busy-ps sum is
+            // bounded by the (effective) window width.
+            for s in snap
+                .series
+                .iter()
+                .filter(|s| s.base_name() == "runner_compute_busy_ps")
+            {
+                for w in &s.windows {
+                    assert!(
+                        w.sum <= s.window_ps as f64 * (1.0 + 1e-9),
+                        "{p}: {} window at {} ps overfull: {}",
+                        s.name,
+                        w.start_ps,
+                        w.sum
+                    );
+                }
+            }
+        }
+        // The default runner meters nothing at zero cost.
+        assert!(!plain.metrics().enabled());
     }
 
     #[test]

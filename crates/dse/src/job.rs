@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use lumos_metrics::MetricsRegistry;
 use lumos_trace::Tracer;
 
 use crate::cache::MemoCache;
@@ -166,15 +167,18 @@ pub struct SweepJob<P> {
     points: Vec<P>,
     threads: usize,
     tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl<P: Sync> SweepJob<P> {
-    /// A job over `points` with the default worker count (tracing off).
+    /// A job over `points` with the default worker count (tracing and
+    /// metering off).
     pub fn new(points: Vec<P>) -> Self {
         SweepJob {
             points,
             threads: available_threads(),
             tracer: Tracer::off(),
+            metrics: MetricsRegistry::off(),
         }
     }
 
@@ -197,6 +201,21 @@ impl<P: Sync> SweepJob<P> {
     /// are byte-identical regardless of thread count or interleaving.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a [`MetricsRegistry`]: [`SweepJob::run_memoized`]
+    /// additionally records `dse_cache_hits_total` /
+    /// `dse_cache_misses_total` counters over the key scan (one trace
+    /// tick per point, so their windowed ratio is the rolling cache
+    /// hit-rate) and a `dse_points_total` counter over the worker
+    /// rounds (its windowed rate is points/sec **of virtual schedule
+    /// time**), on the same virtual round-robin timeline the tracer
+    /// renders. Emission happens post-hoc from the calling thread, so
+    /// series are identical regardless of thread interleaving, and the
+    /// sweep results never depend on the registry.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -275,6 +294,18 @@ impl<P: Sync> SweepJob<P> {
                     .counter(DSE_PID, "cache.misses", ts, misses as f64);
             }
         }
+        // Key-scan metering: per-point hit/miss increments on the same
+        // virtual timeline (the windowed hit/(hit+miss) ratio is the
+        // rolling cache hit-rate).
+        if self.metrics.enabled() {
+            let hit_id = self.metrics.counter("dse_cache_hits_total");
+            let miss_id = self.metrics.counter("dse_cache_misses_total");
+            for (i, r) in results.iter().enumerate() {
+                let ts = (i as u64 + 1) * TRACE_TICK_PS;
+                let id = if r.is_some() { hit_id } else { miss_id };
+                self.metrics.add(id, ts, 1.0);
+            }
+        }
 
         let todo: Vec<&P> = pending
             .iter()
@@ -315,6 +346,22 @@ impl<P: Sync> SweepJob<P> {
                 .counter(DSE_PID, "sweep.hits", end, (n - evaluated) as f64);
             self.tracer
                 .counter(DSE_PID, "sweep.evaluated", end, evaluated as f64);
+        }
+        // Worker-round metering: each evaluated point lands one
+        // `dse_points_total` increment at the end of its virtual slot,
+        // and one busy-span on its worker lane, so the counter's
+        // windowed rate is points per second of schedule time and the
+        // span sum over a window is worker occupancy.
+        if self.metrics.enabled() {
+            let points_id = self.metrics.counter("dse_points_total");
+            let busy_id = self.metrics.counter("dse_worker_busy_ps");
+            let base = (n as u64 + 1) * TRACE_TICK_PS;
+            for j in 0..evaluated {
+                let ts = base + (j / threads_used) as u64 * TRACE_TICK_PS;
+                self.metrics.add(points_id, ts + TRACE_TICK_PS, 1.0);
+                self.metrics
+                    .add_span(busy_id, ts, TRACE_TICK_PS, TRACE_TICK_PS as f64);
+            }
         }
 
         let out: Vec<DseMetrics> = results
@@ -440,6 +487,73 @@ mod tests {
         let mut cache = MemoCache::in_memory();
         let _ = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
         assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn metered_sweep_matches_stats_and_never_perturbs_results() {
+        use lumos_metrics::export_jsonl;
+        let m = |v: u64| DseMetrics {
+            latency_ms: v as f64,
+            power_w: 1.0,
+            epb_nj: 1.0,
+            feasible: true,
+        };
+        let run = |threads: usize| {
+            let reg = MetricsRegistry::windowed(TRACE_TICK_PS, 128);
+            let job = SweepJob::new(vec![7u64, 8, 7, 9, 8, 10, 11])
+                .threads(threads)
+                .with_metrics(reg.clone());
+            let mut cache = MemoCache::in_memory();
+            let (out, stats) = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+            (out, stats, reg.snapshot())
+        };
+        let (out1, stats1, snap1) = run(1);
+        let (out4, stats4, snap4) = run(4);
+        // Metering never perturbs the sweep, whatever the thread count.
+        assert_eq!(out1, out4);
+        let baseline = SweepJob::new(vec![7u64, 8, 7, 9, 8, 10, 11])
+            .threads(4)
+            .run_memoized(&mut MemoCache::in_memory(), |&x| x, |&x| m(x))
+            .0;
+        assert_eq!(out4, baseline);
+        // Counter totals agree with the sweep accounting. Scan-time
+        // hits count only memo lookups (within-sweep duplicates are
+        // scan misses dealt to one evaluation), so hits + misses spans
+        // the point count and evaluations bound the misses.
+        for (snap, stats) in [(&snap1, &stats1), (&snap4, &stats4)] {
+            let total = |name: &str| snap.series_named(name).map(|s| s.total_sum).unwrap_or(0.0);
+            assert_eq!(
+                total("dse_cache_hits_total") + total("dse_cache_misses_total"),
+                stats.points as f64
+            );
+            assert!(total("dse_cache_misses_total") >= stats.evaluated as f64);
+            assert_eq!(total("dse_points_total"), stats.evaluated as f64);
+        }
+        // A warm-cache rerun is all scan hits.
+        {
+            let reg = MetricsRegistry::windowed(TRACE_TICK_PS, 128);
+            let mut cache = MemoCache::in_memory();
+            let job = SweepJob::new(vec![7u64, 8, 9]).threads(2);
+            let _ = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+            let job = job.with_metrics(reg.clone());
+            let (_, stats) = job.run_memoized(&mut cache, |&x| x, |&x| m(x));
+            assert!(stats.all_hits());
+            let snap = reg.snapshot();
+            assert_eq!(
+                snap.series_named("dse_cache_hits_total").unwrap().total_sum,
+                3.0
+            );
+            assert!(snap
+                .series_named("dse_points_total")
+                .is_none_or(|s| s.total_sum == 0.0));
+        }
+        // The key-scan series are thread-count independent; reruns at a
+        // fixed thread count export byte-identically.
+        assert_eq!(
+            snap1.series_named("dse_cache_hits_total").unwrap().windows,
+            snap4.series_named("dse_cache_hits_total").unwrap().windows
+        );
+        assert_eq!(export_jsonl(&snap4), export_jsonl(&run(4).2));
     }
 
     #[test]

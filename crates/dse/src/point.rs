@@ -93,6 +93,42 @@ impl DsePoint {
             && self.mac_scale.to_bits() == other.mac_scale.to_bits()
             && self.metrics().bit_eq(&other.metrics())
     }
+
+    /// Renders the point as one deterministic JSON object (fixed key
+    /// order, shortest-roundtrip float formatting, non-finite metrics —
+    /// infeasible points — as `null`), the record shape the
+    /// `lumos-bench --json` perf snapshot archives.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lumos_dse::{DseMetrics, DsePoint};
+    ///
+    /// let p = DsePoint::new(64, 4, 1.0, DseMetrics {
+    ///     latency_ms: 1.25,
+    ///     power_w: 30.0,
+    ///     epb_nj: 0.5,
+    ///     feasible: true,
+    /// });
+    /// assert_eq!(
+    ///     p.to_json(),
+    ///     "{\"wavelengths\":64,\"gateways\":4,\"mac_scale\":1,\
+    ///      \"latency_ms\":1.25,\"power_w\":30,\"epb_nj\":0.5,\"feasible\":true}"
+    /// );
+    /// assert_eq!(p.to_json(), p.clone().to_json());
+    /// ```
+    pub fn to_json(&self) -> String {
+        use lumos_metrics::json;
+        json::object(&[
+            ("wavelengths", self.wavelengths.to_string()),
+            ("gateways", self.gateways.to_string()),
+            ("mac_scale", json::num(self.mac_scale)),
+            ("latency_ms", json::num(self.latency_ms)),
+            ("power_w", json::num(self.power_w)),
+            ("epb_nj", json::num(self.epb_nj)),
+            ("feasible", self.feasible.to_string()),
+        ])
+    }
 }
 
 /// The swept axes: the cartesian grid of wavelength counts,

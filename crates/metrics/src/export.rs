@@ -1,0 +1,267 @@
+//! Byte-deterministic exporters for a [`MetricsSnapshot`].
+//!
+//! Two formats, both pure functions of the snapshot:
+//!
+//! * **Prometheus text exposition** ([`export_prometheus`]) — `# TYPE`
+//!   headers, one sample per window with millisecond virtual-clock
+//!   timestamps, histogram `_bucket`/`_sum`/`_count` families. Loads
+//!   anywhere the exposition format does; the timestamps are *virtual*
+//!   time, so this is a file-export dialect, not a live scrape target.
+//! * **JSON lines** ([`export_jsonl`]) — one `meta` object per series
+//!   followed by one object per non-empty window, ready for `jq` or a
+//!   dataframe loader.
+//!
+//! Series arrive sorted by name from the snapshot; floats render via
+//! the deterministic rules in [`crate::json`]. Same snapshot, same
+//! bytes.
+
+use crate::json;
+use crate::series::{MetricKind, MetricsSnapshot, SeriesSnapshot};
+
+/// Splits `name{labels}` into `(base, Some("labels"))` or `(name, None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(open), Some(close)) if close > open => (&name[..open], Some(&name[open + 1..close])),
+        _ => (name, None),
+    }
+}
+
+/// Appends `suffix` to the base name, preserving any label set:
+/// `x{m="a"}` + `_bucket` → `x_bucket{m="a"}`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    let (base, labels) = split_labels(name);
+    match labels {
+        Some(l) => format!("{base}{suffix}{{{l}}}"),
+        None => format!("{base}{suffix}"),
+    }
+}
+
+/// Adds one `key="value"` label to the series name's label set.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    let (base, labels) = split_labels(name);
+    match labels {
+        Some(l) => format!("{base}{{{l},{key}=\"{value}\"}}"),
+        None => format!("{base}{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// Renders a histogram upper bound as a Prometheus `le` label value.
+fn le_label(bound: f64) -> String {
+    format!("{bound}")
+}
+
+/// Virtual-clock milliseconds at the *end* of a window starting at
+/// `start_ps` (exposition-format sample timestamps are int64 ms).
+fn window_end_ms(start_ps: u64, window_ps: u64) -> u64 {
+    start_ps.saturating_add(window_ps) / 1_000_000_000
+}
+
+fn prometheus_series(out: &mut String, s: &SeriesSnapshot, last_type: &mut String) {
+    let (base, _) = split_labels(&s.name);
+    if base != last_type.as_str() {
+        out.push_str(&format!("# TYPE {base} {}\n", s.kind.as_str()));
+        *last_type = base.to_owned();
+    }
+    // Resolution provenance: decimation is explicit, never silent.
+    out.push_str(&format!(
+        "# window {} window_ps={} decimations={}\n",
+        s.name, s.window_ps, s.decimations
+    ));
+    match s.kind {
+        MetricKind::Gauge => {
+            for w in &s.windows {
+                out.push_str(&format!(
+                    "{} {} {}\n",
+                    s.name,
+                    json::num(w.last),
+                    window_end_ms(w.start_ps, s.window_ps)
+                ));
+            }
+        }
+        MetricKind::Counter => {
+            for w in &s.windows {
+                out.push_str(&format!(
+                    "{} {} {}\n",
+                    s.name,
+                    json::num(w.cumulative),
+                    window_end_ms(w.start_ps, s.window_ps)
+                ));
+            }
+        }
+        MetricKind::Histogram => {
+            let end_ms = s
+                .windows
+                .last()
+                .map(|w| window_end_ms(w.start_ps, s.window_ps))
+                .unwrap_or(0);
+            let mut running = 0u64;
+            for (i, count) in s.bucket_counts.iter().enumerate() {
+                running += count;
+                let le = s
+                    .bounds
+                    .get(i)
+                    .map(|b| le_label(*b))
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                out.push_str(&format!(
+                    "{} {running} {end_ms}\n",
+                    with_label(&suffixed(&s.name, "_bucket"), "le", &le)
+                ));
+            }
+            out.push_str(&format!(
+                "{} {} {end_ms}\n",
+                suffixed(&s.name, "_sum"),
+                json::num(s.total_sum)
+            ));
+            out.push_str(&format!(
+                "{} {} {end_ms}\n",
+                suffixed(&s.name, "_count"),
+                s.total_count
+            ));
+        }
+    }
+}
+
+/// Serializes the snapshot in the Prometheus text exposition format.
+///
+/// Deterministic: the bytes are a pure function of the snapshot, so a
+/// deterministic run (same config, same seed) exports byte-identical
+/// files across reruns.
+///
+/// # Examples
+///
+/// ```
+/// use lumos_metrics::{export_prometheus, MetricsRegistry};
+///
+/// let r = MetricsRegistry::windowed(1_000_000, 64);
+/// let tokens = r.counter("serve_tokens_total{model=\"gpt2\"}");
+/// r.add(tokens, 500_000, 1.0);
+/// let text = export_prometheus(&r.snapshot());
+/// assert!(text.contains("# TYPE serve_tokens_total counter"));
+/// assert_eq!(text, export_prometheus(&r.snapshot()));
+/// ```
+pub fn export_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type = String::new();
+    for s in &snap.series {
+        prometheus_series(&mut out, s, &mut last_type);
+    }
+    out
+}
+
+fn jsonl_meta(s: &SeriesSnapshot) -> String {
+    let mut fields = vec![
+        ("meta", json::string(&s.name)),
+        ("kind", json::string(s.kind.as_str())),
+        ("window_ps", format!("{}", s.window_ps)),
+        ("decimations", format!("{}", s.decimations)),
+        ("total_count", format!("{}", s.total_count)),
+        ("total_sum", json::num(s.total_sum)),
+    ];
+    if s.kind == MetricKind::Histogram {
+        fields.push(("bounds", json::num_array(&s.bounds)));
+        fields.push(("bucket_counts", json::u64_array(&s.bucket_counts)));
+    }
+    json::object(&fields)
+}
+
+/// Serializes the snapshot as JSON lines: for each series a `meta`
+/// object, then one object per non-empty window (`t_ps` is the window
+/// start on the virtual clock). Byte-deterministic under the same
+/// rules as [`export_prometheus`].
+pub fn export_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for s in &snap.series {
+        out.push_str(&jsonl_meta(s));
+        out.push('\n');
+        for w in &s.windows {
+            let mut fields = vec![
+                ("series", json::string(&s.name)),
+                ("t_ps", format!("{}", w.start_ps)),
+                ("count", format!("{}", w.count)),
+                ("sum", json::num(w.sum)),
+                ("min", json::num(w.min)),
+                ("max", json::num(w.max)),
+                ("last", json::num(w.last)),
+            ];
+            if s.kind == MetricKind::Counter {
+                fields.push(("cum", json::num(w.cumulative)));
+            }
+            out.push_str(&json::object(&fields));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::windowed(1_000_000_000, 64);
+        let depth = r.gauge("serve_queue_depth{model=\"lenet5\"}");
+        let tokens = r.counter("serve_tokens_total{model=\"gpt2\"}");
+        let lat = r.histogram("serve_latency_ms", &[1.0, 10.0, 100.0]);
+        r.set(depth, 0, 2.0);
+        r.set(depth, 1_500_000_000, 3.0);
+        r.add(tokens, 200_000_000, 4.0);
+        r.add(tokens, 2_200_000_000, 1.0);
+        r.observe(lat, 900_000_000, 5.0);
+        r.observe(lat, 900_000_000, 500.0);
+        r
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let text = export_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE serve_latency_ms histogram"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("# TYPE serve_tokens_total counter"));
+        // Counter samples are cumulative; gauge samples are last-level.
+        assert!(text.contains("serve_tokens_total{model=\"gpt2\"} 4 1\n"));
+        assert!(text.contains("serve_tokens_total{model=\"gpt2\"} 5 3\n"));
+        assert!(text.contains("serve_queue_depth{model=\"lenet5\"} 3 2\n"));
+        // Histogram buckets cumulate, with an +Inf overflow family.
+        assert!(text.contains("serve_latency_ms_bucket{le=\"10\"} 1 1\n"));
+        assert!(text.contains("serve_latency_ms_bucket{le=\"+Inf\"} 2 1\n"));
+        assert!(text.contains("serve_latency_ms_sum 505 1\n"));
+        assert!(text.contains("serve_latency_ms_count 2 1\n"));
+    }
+
+    #[test]
+    fn jsonl_export_shape() {
+        let lines: Vec<String> = export_jsonl(&sample_registry().snapshot())
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        // latency: meta + 1 window; queue: meta + 2; tokens: meta + 2.
+        assert_eq!(lines.len(), 8);
+        assert!(lines[0].starts_with("{\"meta\":\"serve_latency_ms\""));
+        assert!(lines[0].contains("\"bounds\":[1,10,100]"));
+        assert!(lines[5].starts_with("{\"meta\":\"serve_tokens_total"));
+        assert!(lines[6].contains("\"cum\":4"));
+        assert!(lines[7].contains("\"cum\":5"));
+    }
+
+    #[test]
+    fn exports_are_pure_functions_of_the_snapshot() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(export_prometheus(&snap), export_prometheus(&snap));
+        assert_eq!(export_jsonl(&snap), export_jsonl(&snap));
+        let again = sample_registry().snapshot();
+        assert_eq!(export_prometheus(&snap), export_prometheus(&again));
+        assert_eq!(export_jsonl(&snap), export_jsonl(&again));
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_family() {
+        let r = MetricsRegistry::with_defaults();
+        for model in ["a", "b"] {
+            let id = r.counter(&format!("tokens_total{{model=\"{model}\"}}"));
+            r.add(id, 0, 1.0);
+        }
+        let text = export_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE tokens_total counter").count(), 1);
+    }
+}

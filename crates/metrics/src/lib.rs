@@ -1,0 +1,66 @@
+//! # lumos_metrics — virtual-clock time-series metrics
+//!
+//! The metrics counterpart to `lumos_trace`: where the tracer answers
+//! *what happened when* (discrete events on the virtual clock), this
+//! crate answers *how did it evolve* — windowed time series of
+//! utilization, occupancy, throughput, and attainment, keyed to the
+//! same integer-picosecond clock.
+//!
+//! A [`MetricsRegistry`] holds three kinds of series:
+//!
+//! * **gauges** — sampled levels (queue depth, resident streams);
+//! * **monotone counters** — accumulations (tokens, weighted busy
+//!   picoseconds, joules), with [`MetricsRegistry::add_span`]
+//!   distributing an amount over a time span by window overlap — the
+//!   primitive behind utilization timelines and energy-rate series;
+//! * **fixed-bucket histograms** — distributions (latency, batch
+//!   occupancy).
+//!
+//! Windows are exact integer-ps arithmetic at a configurable width.
+//! Series length is bounded: exceeding the bound merges adjacent window
+//! pairs and increments an explicit per-series decimation count —
+//! coverage is kept at coarser resolution, never silently truncated.
+//!
+//! Like tracing, metering is opt-in via a plain-data [`MetricsConfig`]
+//! knob and **bitwise-invisible to results**: instrumented layers only
+//! read simulation state, so reports are identical with metrics on or
+//! off, and the knob is excluded from result fingerprints.
+//!
+//! Snapshots export two byte-deterministic formats —
+//! [`export_prometheus`] (text exposition) and [`export_jsonl`] (JSON
+//! lines) — plus the [`json`] fragment helpers downstream report
+//! serializers reuse.
+//!
+//! ```
+//! use lumos_metrics::{export_jsonl, export_prometheus, MetricsRegistry};
+//!
+//! // 1 ms windows, at most 64 of them per series.
+//! let reg = MetricsRegistry::windowed(1_000_000_000, 64);
+//! let util = reg.counter("compute_utilization{class=\"phot_dense\"}");
+//! let depth = reg.gauge("queue_depth");
+//!
+//! // A 1.5 ms busy span starting at t = 0.25 ms spreads across three
+//! // windows in proportion to overlap.
+//! reg.add_span(util, 250_000_000, 1_500_000_000, 1_500_000_000.0);
+//! reg.set(depth, 400_000_000, 3.0);
+//!
+//! let snap = reg.snapshot();
+//! let series = snap.series_named("queue_depth").expect("registered");
+//! assert_eq!(series.windows[0].last, 3.0);
+//! assert_eq!(export_prometheus(&snap), export_prometheus(&snap));
+//! assert!(export_jsonl(&snap).lines().count() >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+mod registry;
+mod series;
+
+pub use export::{export_jsonl, export_prometheus};
+pub use registry::{
+    MetricId, MetricsConfig, MetricsRegistry, DEFAULT_MAX_WINDOWS, DEFAULT_WINDOW_PS,
+};
+pub use series::{MetricKind, MetricsSnapshot, SeriesSnapshot, WindowSample};

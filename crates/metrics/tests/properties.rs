@@ -1,0 +1,192 @@
+//! Property tests for the windowed-metrics core: counter monotonicity,
+//! exact integer-ps window boundaries, decimation bounds, span
+//! conservation, and byte-identical exports across same-input reruns.
+
+use lumos_metrics::{export_jsonl, export_prometheus, MetricKind, MetricsRegistry};
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+/// One recorded operation against a small fixed metric set.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u64, f64),
+    Add(u64, f64),
+    Span(u64, u64, f64),
+    Observe(u64, f64),
+}
+
+fn arb_value() -> impl Strategy<Value = f64> {
+    sample::select(vec![
+        0.0,
+        0.25,
+        1.0,
+        -3.5,
+        1e9,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u32..4, 0u64..5_000_000, 0u64..2_000_000, arb_value()).prop_map(|(tag, ts, dur, v)| match tag
+    {
+        0 => Op::Set(ts, v),
+        1 => Op::Add(ts, v),
+        2 => Op::Span(ts, dur, v),
+        _ => Op::Observe(ts, v),
+    })
+}
+
+/// Replays `ops` into a fresh registry: gauge/counter/histogram plus a
+/// labelled counter fed by the span ops.
+fn replay(ops: &[Op], window_ps: u64, max_windows: usize) -> MetricsRegistry {
+    let r = MetricsRegistry::windowed(window_ps, max_windows);
+    let g = r.gauge("depth");
+    let c = r.counter("tokens_total");
+    let u = r.counter("busy_ps{class=\"phot_dense\"}");
+    let h = r.histogram("latency_ms", &[1.0, 10.0, 100.0]);
+    for op in ops {
+        match *op {
+            Op::Set(ts, v) => r.set(g, ts, v),
+            Op::Add(ts, v) => r.add(c, ts, v),
+            Op::Span(ts, dur, v) => r.add_span(u, ts, dur, v.abs()),
+            Op::Observe(ts, v) => r.observe(h, ts, v),
+        }
+    }
+    r
+}
+
+proptest! {
+    /// Counter cumulative series never decrease, whatever the deltas
+    /// (negative and non-finite increments clamp to zero), and the
+    /// final cumulative value equals the series total.
+    #[test]
+    fn counters_are_monotone(
+        ops in collection::vec(arb_op(), 0..64),
+        window_ps in 1u64..100_000,
+        max_windows in 2usize..32,
+    ) {
+        let snap = replay(&ops, window_ps, max_windows).snapshot();
+        for s in snap.series.iter().filter(|s| s.kind == MetricKind::Counter) {
+            prop_assert!(
+                s.windows.windows(2).all(|w| w[0].cumulative <= w[1].cumulative),
+                "{}: cumulative series decreased", s.name
+            );
+            prop_assert!(s.windows.iter().all(|w| w.sum >= 0.0));
+            if let Some(last) = s.windows.last() {
+                prop_assert!((last.cumulative - s.total_sum).abs() <= 1e-9 * s.total_sum.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Every sample lands in the window whose integer-ps boundaries
+    /// contain its timestamp: `start_ps ≡ 0 (mod effective width)` and
+    /// the slot index is exactly `ts / width`.
+    #[test]
+    fn window_boundaries_are_exact_integer_ps(
+        ops in collection::vec(arb_op(), 1..64),
+        window_ps in 1u64..100_000,
+        max_windows in 2usize..32,
+    ) {
+        let snap = replay(&ops, window_ps, max_windows).snapshot();
+        for s in &snap.series {
+            prop_assert_eq!(s.window_ps, snap.window_ps << s.decimations);
+            for w in &s.windows {
+                prop_assert_eq!(w.start_ps % s.window_ps, 0,
+                    "window start must be a multiple of the effective width");
+            }
+            prop_assert!(
+                s.windows.windows(2).all(|w| w[0].start_ps < w[1].start_ps),
+                "windows must be strictly ordered"
+            );
+        }
+    }
+
+    /// No series ever exceeds its window bound, decimation is explicit
+    /// whenever the bound forced coarsening, and sample counts are
+    /// conserved through merges.
+    #[test]
+    fn decimation_preserves_bounds_and_counts(
+        ops in collection::vec(arb_op(), 0..64),
+        window_ps in 1u64..10_000,
+        max_windows in 2usize..16,
+    ) {
+        let snap = replay(&ops, window_ps, max_windows).snapshot();
+        for s in &snap.series {
+            prop_assert!(s.windows.len() <= snap.max_windows,
+                "{}: {} windows > bound {}", &s.name, s.windows.len(), snap.max_windows);
+            let window_total: u64 = s.windows.iter().map(|w| w.count).sum();
+            prop_assert_eq!(window_total, s.total_count,
+                "decimation must conserve sample counts");
+            // A sample past the bound must have coarsened the series
+            // explicitly rather than dropping its tail: the covered
+            // range never exceeds bound × effective width.
+            let covered = s.windows.last().map(|w| w.start_ps + s.window_ps).unwrap_or(0);
+            prop_assert!(covered <= s.window_ps.saturating_mul(snap.max_windows as u64));
+        }
+    }
+
+    /// `add_span` conserves its amount: the window increments sum back
+    /// to the recorded amounts (up to float round-off).
+    #[test]
+    fn spans_conserve_amount(
+        spans in collection::vec((0u64..5_000_000, 0u64..2_000_000, 0f64..1e6), 1..24),
+        window_ps in 1u64..10_000,
+    ) {
+        let r = MetricsRegistry::windowed(window_ps, 64);
+        let u = r.counter("busy_ps");
+        let mut expected = 0.0f64;
+        for (start, dur, amount) in &spans {
+            r.add_span(u, *start, *dur, *amount);
+            expected += amount;
+        }
+        let snap = r.snapshot();
+        let s = snap.series_named("busy_ps").expect("registered series");
+        let total: f64 = s.windows.iter().map(|w| w.sum).sum();
+        prop_assert!((total - expected).abs() <= 1e-6 * expected.max(1.0),
+            "distributed {total}, recorded {expected}");
+    }
+
+    /// Replaying the same operations yields byte-identical Prometheus
+    /// and JSONL exports — the determinism contract the CI gate pins
+    /// end-to-end on the examples.
+    #[test]
+    fn exports_are_byte_identical_across_reruns(
+        ops in collection::vec(arb_op(), 0..64),
+        window_ps in 1u64..100_000,
+        max_windows in 2usize..32,
+    ) {
+        let a = replay(&ops, window_ps, max_windows).snapshot();
+        let b = replay(&ops, window_ps, max_windows).snapshot();
+        // Snapshots may hold NaN (gauge samples record raw values), so
+        // the contract is pinned on the exported bytes, where
+        // non-finite values render deterministically as `null`.
+        prop_assert_eq!(export_prometheus(&a), export_prometheus(&b));
+        let ja = export_jsonl(&a);
+        prop_assert_eq!(&ja, &export_jsonl(&b));
+        // Every JSONL line is a standalone object.
+        for line in ja.lines() {
+            prop_assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    /// The disabled registry is inert under any operation sequence.
+    #[test]
+    fn off_registry_is_inert(ops in collection::vec(arb_op(), 0..32)) {
+        let r = replay(&ops, 0, 0); // clamps apply only when enabled
+        let off = MetricsRegistry::off();
+        let g = off.gauge("depth");
+        for op in &ops {
+            if let Op::Set(ts, v) = *op {
+                off.set(g, ts, v);
+            }
+        }
+        prop_assert!(off.snapshot().series.is_empty());
+        prop_assert!(!off.enabled());
+        // Enabled replay with clamped config still obeys its bounds.
+        let snap = r.snapshot();
+        prop_assert!(snap.window_ps >= 1);
+        prop_assert!(snap.max_windows >= 2);
+    }
+}

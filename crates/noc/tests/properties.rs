@@ -21,7 +21,8 @@ proptest! {
         prop_assert_eq!(path.len() as u32, src.manhattan(dst));
         if let Some(first) = path.first() {
             prop_assert_eq!(first.from, src);
-            prop_assert_eq!(path.last().unwrap().to, dst);
+            let last = path.last().expect("non-empty path has a last hop");
+            prop_assert_eq!(last.to, dst);
         }
         for pair in path.windows(2) {
             prop_assert_eq!(pair[0].to, pair[1].from);

@@ -339,6 +339,16 @@ pub struct ServeConfig {
     /// **excluded** from [`serve_key`](crate::dse::serve_key)
     /// fingerprints.
     pub trace: lumos_trace::TraceConfig,
+    /// Windowed time-series metering
+    /// ([`lumos_metrics::MetricsConfig::off`] by default). Only the
+    /// metered entry points
+    /// ([`simulate_metered`](crate::sim::simulate_metered) /
+    /// [`simulate_with_profiles_metered`](crate::sim::simulate_with_profiles_metered))
+    /// consult it; [`simulate`](crate::sim::simulate) never meters.
+    /// Metering never perturbs the report, so this knob is — like
+    /// `trace` — deliberately **excluded** from
+    /// [`serve_key`](crate::dse::serve_key) fingerprints.
+    pub metrics: lumos_metrics::MetricsConfig,
 }
 
 impl ServeConfig {
@@ -358,6 +368,7 @@ impl ServeConfig {
             max_concurrency: 4,
             load_scale: 1.0,
             trace: lumos_trace::TraceConfig::off(),
+            metrics: lumos_metrics::MetricsConfig::off(),
         }
     }
 
@@ -365,6 +376,13 @@ impl ServeConfig {
     /// traced entry points.
     pub fn with_trace(mut self, trace: lumos_trace::TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the windowed-metrics configuration consulted by the metered
+    /// entry points.
+    pub fn with_metrics(mut self, metrics: lumos_metrics::MetricsConfig) -> Self {
+        self.metrics = metrics;
         self
     }
 

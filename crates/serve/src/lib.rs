@@ -41,7 +41,12 @@
 //! [`ServeConfig::trace`]) additionally return the full request
 //! lifecycle — arrival → queue → admit → prefill → decode ticks →
 //! completion — as deterministic `lumos_trace` events on the virtual
-//! clock, without perturbing the report.
+//! clock, without perturbing the report. The metered entry points
+//! ([`simulate_metered`] / [`simulate_with_profiles_metered`], opted
+//! into via [`ServeConfig::metrics`]) instead return windowed
+//! `lumos_metrics` time series — queue depth, residency, tokens/sec,
+//! per-window SLO attainment, decode-batch occupancy — under the same
+//! never-perturbs-the-report contract.
 //!
 //! Everything is deterministic: identical configurations (seed
 //! included) produce bit-identical reports.
@@ -90,7 +95,10 @@ pub use dse::{serve_key, ServePoint};
 pub use error::ServeError;
 pub use profile::{build_profiles, ModelProfile, ServiceProfiles};
 pub use report::{BatchStats, ModelServeStats, Percentiles, ServeReport};
-pub use sim::{simulate, simulate_traced, simulate_with_profiles, simulate_with_profiles_traced};
+pub use sim::{
+    simulate, simulate_metered, simulate_traced, simulate_with_profiles,
+    simulate_with_profiles_metered, simulate_with_profiles_traced,
+};
 
 // The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
 // with fingerprints and grids); re-export it so serving callers need

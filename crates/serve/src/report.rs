@@ -224,6 +224,97 @@ impl ServeReport {
             feasible: true,
         }
     }
+
+    /// Renders the full report as one deterministic JSON object: fixed
+    /// key order, shortest-roundtrip float formatting, non-finite
+    /// values as `null` — identical configurations give byte-identical
+    /// strings. This is the record shape the `lumos-bench --json` perf
+    /// snapshot archives.
+    pub fn to_json(&self) -> String {
+        use lumos_metrics::json;
+        let models: Vec<String> = self
+            .models
+            .iter()
+            .map(|m| {
+                json::object(&[
+                    ("name", json::string(&m.name)),
+                    ("offered_rps", json::num(m.offered_rps)),
+                    ("arrived", m.arrived.to_string()),
+                    ("served", m.served.to_string()),
+                    ("throughput_rps", json::num(m.throughput_rps)),
+                    ("latency", percentiles_json(&m.latency)),
+                    ("queue_delay", percentiles_json(&m.queue_delay)),
+                    ("slo_ms", json::num(m.slo_ms)),
+                    ("slo_attainment", json::num(m.slo_attainment)),
+                    ("in_flight", m.in_flight.to_string()),
+                    ("queued_at_horizon", m.queued_at_horizon.to_string()),
+                    ("ttft", percentiles_json(&m.ttft)),
+                    ("per_token", percentiles_json(&m.per_token)),
+                    ("tokens", m.tokens.to_string()),
+                    ("tokens_per_s", json::num(m.tokens_per_s)),
+                ])
+            })
+            .collect();
+        let batch = json::object(&[
+            ("ticks", self.batch.ticks.to_string()),
+            ("mean_occupancy", json::num(self.batch.mean_occupancy)),
+            ("p50_occupancy", json::num(self.batch.p50_occupancy)),
+            ("p95_occupancy", json::num(self.batch.p95_occupancy)),
+            ("max_occupancy", json::num(self.batch.max_occupancy)),
+        ]);
+        json::object(&[
+            ("platform", json::string(self.platform.label())),
+            ("policy", json::string(self.policy.label())),
+            ("sharing", json::string(self.sharing.label())),
+            ("batching", json::string(&self.batching.label())),
+            ("duration_s", json::num(self.duration_s)),
+            ("seed", self.seed.to_string()),
+            ("load_scale", json::num(self.load_scale)),
+            ("max_concurrency", self.max_concurrency.to_string()),
+            ("models", format!("[{}]", models.join(","))),
+            ("total_arrived", self.total_arrived.to_string()),
+            ("total_served", self.total_served.to_string()),
+            (
+                "aggregate_throughput_rps",
+                json::num(self.aggregate_throughput_rps),
+            ),
+            (
+                "aggregate_latency",
+                percentiles_json(&self.aggregate_latency),
+            ),
+            ("aggregate_ttft", percentiles_json(&self.aggregate_ttft)),
+            (
+                "aggregate_per_token",
+                percentiles_json(&self.aggregate_per_token),
+            ),
+            (
+                "aggregate_tokens_per_s",
+                json::num(self.aggregate_tokens_per_s),
+            ),
+            ("batch", batch),
+            (
+                "class_utilization",
+                json::num_array(&self.class_utilization),
+            ),
+            ("mean_concurrency", json::num(self.mean_concurrency)),
+            ("avg_power_w", json::num(self.avg_power_w)),
+            ("epb_nj", json::num(self.epb_nj)),
+            ("sustained", self.sustained().to_string()),
+        ])
+    }
+}
+
+/// Renders a [`Percentiles`] block as a fixed-order JSON object.
+fn percentiles_json(p: &Percentiles) -> String {
+    use lumos_metrics::json;
+    json::object(&[
+        ("min_ms", json::num(p.min_ms)),
+        ("p50_ms", json::num(p.p50_ms)),
+        ("p95_ms", json::num(p.p95_ms)),
+        ("p99_ms", json::num(p.p99_ms)),
+        ("mean_ms", json::num(p.mean_ms)),
+        ("max_ms", json::num(p.max_ms)),
+    ])
 }
 
 #[cfg(test)]

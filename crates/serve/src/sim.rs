@@ -81,6 +81,7 @@
 use std::collections::VecDeque;
 
 use lumos_dse::{ServePolicy, SharePolicy};
+use lumos_metrics::{MetricId, MetricsRegistry, MetricsSnapshot};
 use lumos_sim::SimRng;
 use lumos_trace::{ps_from_secs as ps, ArgValue, TraceEvent, Tracer};
 
@@ -341,6 +342,114 @@ impl ServeTrace {
     }
 }
 
+/// The metering context of one serving simulation: a
+/// [`MetricsRegistry`] plus the pre-registered series handles. Every
+/// emission is keyed to the virtual clock via
+/// [`ps_from_secs`](lumos_trace::ps_from_secs) and guarded on
+/// [`MetricsRegistry::enabled`], so — like [`ServeTrace`] — a disabled
+/// meter costs one branch per site and never perturbs the schedule.
+///
+/// Series registered (all labelled per model where noted):
+/// `serve_resident` / `serve_queued` gauges (total occupancy sampled at
+/// every event), `serve_queue_depth{model=}` gauges,
+/// `serve_tokens_total{model=}` counters (one increment per decode-step
+/// token, matching [`ModelServeStats::tokens`]),
+/// `serve_requests_total{model=}` / `serve_slo_ok_total{model=}`
+/// counters (per-window SLO attainment is their increment ratio; run
+/// totals match `served` and `slo_attainment · served`), and the
+/// `serve_batch_occupancy` histogram over completed decode-tick batch
+/// sizes (continuous batching only).
+///
+/// [`ModelServeStats::tokens`]: crate::report::ModelServeStats::tokens
+struct ServeMeter {
+    reg: MetricsRegistry,
+    /// Per-model SLO deadlines in seconds, precomputed exactly as
+    /// [`roll_up`] computes them so attainment counts agree.
+    slo_s: Vec<f64>,
+    resident: MetricId,
+    queued: MetricId,
+    depth: Vec<MetricId>,
+    tokens: Vec<MetricId>,
+    served: Vec<MetricId>,
+    slo_ok: Vec<MetricId>,
+    batch: MetricId,
+}
+
+impl ServeMeter {
+    /// Histogram bounds for decode-tick batch occupancy (powers of two
+    /// up to the largest cap the configs exercise; larger ticks land in
+    /// the implicit overflow bucket).
+    const BATCH_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+    fn new(cfg: &ServeConfig, reg: MetricsRegistry) -> Self {
+        let mut depth = Vec::with_capacity(cfg.models.len());
+        let mut tokens = Vec::with_capacity(cfg.models.len());
+        let mut served = Vec::with_capacity(cfg.models.len());
+        let mut slo_ok = Vec::with_capacity(cfg.models.len());
+        for m in &cfg.models {
+            depth.push(reg.gauge(&format!("serve_queue_depth{{model=\"{}\"}}", m.name)));
+            tokens.push(reg.counter(&format!("serve_tokens_total{{model=\"{}\"}}", m.name)));
+            served.push(reg.counter(&format!("serve_requests_total{{model=\"{}\"}}", m.name)));
+            slo_ok.push(reg.counter(&format!("serve_slo_ok_total{{model=\"{}\"}}", m.name)));
+        }
+        ServeMeter {
+            slo_s: cfg.models.iter().map(|m| m.slo_ms * 1e-3).collect(),
+            resident: reg.gauge("serve_resident"),
+            queued: reg.gauge("serve_queued"),
+            depth,
+            tokens,
+            served,
+            slo_ok,
+            batch: reg.histogram("serve_batch_occupancy", &Self::BATCH_BOUNDS),
+            reg,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.reg.enabled()
+    }
+
+    /// Samples residency, total queue backlog, and per-model queue
+    /// depth at an event boundary.
+    fn occupancy(&self, now: f64, resident: usize, queues: &[VecDeque<Pending>]) {
+        if self.enabled() {
+            let t = ps(now);
+            self.reg.set(self.resident, t, resident as f64);
+            let backlog: usize = queues.iter().map(|q| q.len()).sum();
+            self.reg.set(self.queued, t, backlog as f64);
+            for (m, q) in queues.iter().enumerate() {
+                self.reg.set(self.depth[m], t, q.len() as f64);
+            }
+        }
+    }
+
+    /// Counts one emitted token (a decode-step completion).
+    fn token(&self, model: usize, now: f64) {
+        if self.enabled() {
+            self.reg.add(self.tokens[model], ps(now), 1.0);
+        }
+    }
+
+    /// Counts one completed request and, when its end-to-end latency
+    /// met the model's SLO, one attainment.
+    fn complete(&self, model: usize, now: f64, latency_s: f64) {
+        if self.enabled() {
+            let t = ps(now);
+            self.reg.add(self.served[model], t, 1.0);
+            if latency_s <= self.slo_s[model] {
+                self.reg.add(self.slo_ok[model], t, 1.0);
+            }
+        }
+    }
+
+    /// Observes one completed decode tick's batch occupancy.
+    fn batch_tick(&self, now: f64, occupancy: usize) {
+        if self.enabled() {
+            self.reg.observe(self.batch, ps(now), occupancy as f64);
+        }
+    }
+}
+
 /// One execution stream of the continuous-batching loop: an unbatched
 /// stage-0 resident (prefill or single-pass request), or a decode
 /// group.
@@ -560,7 +669,7 @@ pub fn simulate_with_profiles(
     cfg: &ServeConfig,
     profiles: &ServiceProfiles,
 ) -> Result<ServeReport, ServeError> {
-    simulate_with_profiles_inner(cfg, profiles, Tracer::off())
+    simulate_with_profiles_inner(cfg, profiles, Tracer::off(), MetricsRegistry::off())
 }
 
 /// [`simulate`] with request-lifecycle tracing: returns the report
@@ -595,14 +704,56 @@ pub fn simulate_with_profiles_traced(
     profiles: &ServiceProfiles,
 ) -> Result<(ServeReport, Vec<TraceEvent>), ServeError> {
     let tracer = cfg.trace.tracer();
-    let report = simulate_with_profiles_inner(cfg, profiles, tracer.clone())?;
+    let report =
+        simulate_with_profiles_inner(cfg, profiles, tracer.clone(), MetricsRegistry::off())?;
     Ok((report, tracer.drain()))
+}
+
+/// [`simulate`] with windowed time-series metering: returns the report
+/// plus a [`MetricsSnapshot`] of occupancy gauges
+/// (`serve_resident` / `serve_queued` / `serve_queue_depth{model=}`),
+/// token / request / SLO-attainment counters
+/// (`serve_tokens_total{model=}` / `serve_requests_total{model=}` /
+/// `serve_slo_ok_total{model=}`), and the `serve_batch_occupancy`
+/// histogram, all keyed to the virtual clock per
+/// [`ServeConfig::metrics`].
+///
+/// Metering is observational: the report is **bitwise identical** to
+/// [`simulate`]'s for the same configuration (pinned by
+/// `tests/metrics.rs`), and with [`ServeConfig::metrics`] disabled the
+/// snapshot is empty. Feed the snapshot to
+/// [`lumos_metrics::export_prometheus`] /
+/// [`lumos_metrics::export_jsonl`] — both byte-identical across reruns
+/// of one configuration.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_metered(cfg: &ServeConfig) -> Result<(ServeReport, MetricsSnapshot), ServeError> {
+    let profiles = build_profiles(cfg)?; // validates cfg
+    simulate_with_profiles_metered(cfg, &profiles)
+}
+
+/// [`simulate_metered`] against pre-built [`ServiceProfiles`] (see
+/// [`simulate_with_profiles`] for the reuse contract).
+///
+/// # Errors
+///
+/// Same as [`simulate_with_profiles`].
+pub fn simulate_with_profiles_metered(
+    cfg: &ServeConfig,
+    profiles: &ServiceProfiles,
+) -> Result<(ServeReport, MetricsSnapshot), ServeError> {
+    let registry = cfg.metrics.registry();
+    let report = simulate_with_profiles_inner(cfg, profiles, Tracer::off(), registry.clone())?;
+    Ok((report, registry.snapshot()))
 }
 
 fn simulate_with_profiles_inner(
     cfg: &ServeConfig,
     profiles: &ServiceProfiles,
     tracer: Tracer,
+    metrics: MetricsRegistry,
 ) -> Result<ServeReport, ServeError> {
     cfg.validate()?;
     if profiles.models.len() != cfg.models.len() {
@@ -684,10 +835,11 @@ fn simulate_with_profiles_inner(
         }
     }
     let mut tr = ServeTrace::new(cfg, tracer);
+    let mm = ServeMeter::new(cfg, metrics);
     let tallies = if cfg.batching.is_continuous() {
-        run_continuous(cfg, profiles, &mut tr)
+        run_continuous(cfg, profiles, &mut tr, &mm)
     } else {
-        run_per_stream(cfg, profiles, &mut tr)
+        run_per_stream(cfg, profiles, &mut tr, &mm)
     };
     Ok(roll_up(cfg, profiles, tallies))
 }
@@ -698,6 +850,7 @@ fn run_per_stream(
     cfg: &ServeConfig,
     profiles: &ServiceProfiles,
     tr: &mut ServeTrace,
+    mm: &ServeMeter,
 ) -> SimTallies {
     let arrivals = generate_arrivals(cfg);
     let n = cfg.models.len();
@@ -802,6 +955,7 @@ fn run_per_stream(
                     } else {
                         // One more decode step: one more token.
                         token_gaps[model].push(now - r.last_boundary_s);
+                        mm.token(model, now);
                     }
                 }
                 if resident[i].stage + 1 < profiles.models[model].n_stages() {
@@ -816,6 +970,7 @@ fn run_per_stream(
                     latencies[r.model].push(now - r.arrival_s);
                     delays[r.model].push(r.admitted_s - r.arrival_s);
                     tr.complete(lane, now, req_id);
+                    mm.complete(r.model, now, now - r.arrival_s);
                 }
             }
             Event::Arrival => {
@@ -848,6 +1003,7 @@ fn run_per_stream(
             }
         }
         tr.occupancy(now, resident.len(), queues.iter().map(|q| q.len()).sum());
+        mm.occupancy(now, resident.len(), &queues);
     }
     concurrency_integral += resident.len() as f64 * (horizon - now).max(0.0);
 
@@ -910,6 +1066,7 @@ fn run_continuous(
     cfg: &ServeConfig,
     profiles: &ServiceProfiles,
     tr: &mut ServeTrace,
+    mm: &ServeMeter,
 ) -> SimTallies {
     let arrivals = generate_arrivals(cfg);
     let n = cfg.models.len();
@@ -1144,12 +1301,14 @@ fn run_continuous(
                         latencies[r.model].push(now - r.arrival_s);
                         delays[r.model].push(r.admitted_s - r.arrival_s);
                         tr.complete(lane, now, req_id);
+                        mm.complete(r.model, now, now - r.arrival_s);
                     }
                 }
                 Stream::Batch(gi) => {
                     let model = groups[gi].model;
                     let n_stages = profiles.models[model].n_stages();
                     tick_occupancy.push(groups[gi].members.len() as f64);
+                    mm.batch_tick(now, groups[gi].members.len());
                     if tr.enabled() {
                         // The tick span rides the anchor member's lane,
                         // carrying the occupancy and the stage that
@@ -1177,6 +1336,7 @@ fn run_continuous(
                     for &ri in &members {
                         let r = &mut resident[ri];
                         token_gaps[model].push(now - r.last_boundary_s);
+                        mm.token(model, now);
                         r.stage += 1;
                         r.last_boundary_s = now;
                         if r.stage >= n_stages {
@@ -1193,6 +1353,7 @@ fn run_continuous(
                         latencies[r.model].push(now - r.arrival_s);
                         delays[r.model].push(r.admitted_s - r.arrival_s);
                         tr.complete(lane, now, req_id);
+                        mm.complete(r.model, now, now - r.arrival_s);
                     }
                     // Boundary admission: absorb waiters into the
                     // freed space, then regroup any leftovers so
@@ -1258,6 +1419,7 @@ fn run_continuous(
             }
         }
         tr.occupancy(now, resident.len(), queues.iter().map(|q| q.len()).sum());
+        mm.occupancy(now, resident.len(), &queues);
     }
     let streams_at_end = resident.iter().filter(|r| r.stage == 0).count() + groups.len();
     concurrency_integral += streams_at_end as f64 * (horizon - now).max(0.0);

@@ -153,6 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             BATCHES[BATCHES.len() - 1]
         ),
     }
+    println!("\n{}", lumos::dse::engine_stats_line(&cache, stats.threads));
     cache.flush()?;
     Ok(())
 }

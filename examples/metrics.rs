@@ -1,0 +1,162 @@
+//! Metering a serve run, a runner pass, and a DSE sweep with windowed
+//! time-series metrics on the virtual clock.
+//!
+//! Three metered scenarios, each rendered as an ASCII utilization
+//! dashboard and exported in both byte-deterministic formats
+//! (Prometheus text exposition and JSON lines, under `target/metrics/`):
+//!
+//! 1. A GPT-2-small continuous-batching serve run: queue depth,
+//!    resident streams, tokens/sec, per-window SLO attainment, and
+//!    decode-batch occupancy, in 1 ms windows.
+//! 2. A ResNet-50 runner pass: per-MAC-class compute utilization,
+//!    HBM/photonic-link occupancy, and energy-rate series, in 10 µs
+//!    windows.
+//! 3. A memoized design-space sweep: cache hit/miss counters and
+//!    evaluated points over the engine's virtual schedule.
+//!
+//! Metering is observational: this example proves it by pinning the
+//! metered serve report bitwise-equal to the unmetered baseline and the
+//! metered runner latency to the bare run, and proves determinism by
+//! re-running the serve scenario and comparing both exports
+//! byte-for-byte — the contract the CI metrics gate re-checks across
+//! whole processes.
+//!
+//! ```text
+//! cargo run --release --example metrics
+//! ```
+
+use lumos::dnn::workload::Precision;
+use lumos::dse::{self, DseAxes};
+use lumos::prelude::*;
+use lumos_bench::metrics_dashboard;
+
+const SEED: u64 = 2026;
+const MAX_CONCURRENCY: usize = 8;
+const MAX_BATCH: usize = 4;
+/// Serve windows: 1 ms of virtual time.
+const SERVE_WINDOW_PS: u64 = 1_000_000_000;
+/// Runner windows: 10 µs of virtual time (ResNet-50 finishes in ~1 ms).
+const RUN_WINDOW_PS: u64 = 10_000_000;
+/// Sweep windows: one engine trace tick (1 µs) per window.
+const DSE_WINDOW_PS: u64 = 1_000_000;
+const DASH_WIDTH: usize = 56;
+
+/// The metered serving scenario: one saturating GPT-2-small generator
+/// stream under continuous batching (the `tracing` example's scenario,
+/// metered instead of traced).
+fn serve_config() -> ServeConfig {
+    let mix = vec![ServedModel::generator(
+        &xformer_zoo::gpt2_small(),
+        32,
+        8,
+        1,
+        Precision::int8(),
+        400.0,
+        1_000.0,
+    )];
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+        .with_duration_s(0.1)
+        .with_seed(SEED)
+        .with_max_concurrency(MAX_CONCURRENCY)
+        .with_batching(BatchPolicy::continuous(MAX_BATCH))
+        .with_metrics(MetricsConfig::windowed(SERVE_WINDOW_PS, 256))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/metrics");
+    std::fs::create_dir_all(out_dir)?;
+
+    // --- 1. Metered serve run: traffic series in 1 ms windows.
+    let cfg = serve_config();
+    let (report, snap) = simulate_metered(&cfg)?;
+    println!(
+        "serve metrics: GPT-2-small generators, continuous batching (max_batch {MAX_BATCH}),\n\
+         0.1 s at 400 rps on 2.5D-SiPh, seed {SEED} — {} series in {} ms windows:",
+        snap.series.len(),
+        snap.window_ps as f64 * 1e-9,
+    );
+    print!("{}", metrics_dashboard(&snap, DASH_WIDTH));
+    println!(
+        "  {} of {} requests served, {:.0} sustained tokens/s",
+        report.total_served, report.total_arrived, report.aggregate_tokens_per_s
+    );
+
+    // Metering must not perturb the schedule: the metered report is
+    // bitwise-identical to the unmetered baseline.
+    let baseline = simulate(&cfg.clone().with_metrics(MetricsConfig::off()))?;
+    assert_eq!(report, baseline, "metering must not perturb the report");
+
+    // Determinism: a same-seed rerun reproduces both exports
+    // byte-for-byte.
+    let (report2, snap2) = simulate_metered(&cfg)?;
+    assert_eq!(report, report2, "metered rerun must be bit-identical");
+    let (prom, jsonl) = (export_prometheus(&snap), export_jsonl(&snap));
+    assert_eq!(
+        prom,
+        export_prometheus(&snap2),
+        "prometheus must rerun byte-identically"
+    );
+    assert_eq!(
+        jsonl,
+        export_jsonl(&snap2),
+        "jsonl must rerun byte-identically"
+    );
+    std::fs::write(out_dir.join("serve.prom"), &prom)?;
+    std::fs::write(out_dir.join("serve.jsonl"), &jsonl)?;
+    println!(
+        "wrote target/metrics/serve.prom ({} bytes) and serve.jsonl ({} bytes) — \
+         byte-identical across same-seed reruns\n",
+        prom.len(),
+        jsonl.len()
+    );
+
+    // --- 2. Metered runner pass: utilization timelines in 10 µs windows.
+    let reg = MetricsConfig::windowed(RUN_WINDOW_PS, 256).registry();
+    let runner = Runner::new(PlatformConfig::paper_table1()).with_metrics(reg.clone());
+    let run = runner.run(&Platform::Siph2p5D, &zoo::resnet50())?;
+    let run_snap = reg.snapshot();
+    println!(
+        "runner metrics: resnet50 on 2.5D-SiPh, {:.3} ms end-to-end — compute/link\n\
+         occupancy and energy series in 10 µs windows:",
+        run.total_latency.as_secs_f64() * 1e3
+    );
+    print!("{}", metrics_dashboard(&run_snap, DASH_WIDTH));
+
+    // Metering must not move the run either.
+    let bare =
+        Runner::new(PlatformConfig::paper_table1()).run(&Platform::Siph2p5D, &zoo::resnet50())?;
+    assert_eq!(
+        run.total_latency, bare.total_latency,
+        "metering must not perturb latency"
+    );
+    assert_eq!(run.energy, bare.energy, "metering must not perturb energy");
+    std::fs::write(out_dir.join("runner.prom"), export_prometheus(&run_snap))?;
+    std::fs::write(out_dir.join("runner.jsonl"), export_jsonl(&run_snap))?;
+    println!("wrote target/metrics/runner.prom and runner.jsonl\n");
+
+    // --- 3. Metered DSE sweep: engine counters on the virtual schedule.
+    let dse_reg = MetricsConfig::windowed(DSE_WINDOW_PS, 128).registry();
+    let mut cache = MemoCache::in_memory();
+    let axes = DseAxes::example_grid();
+    let model = zoo::resnet50();
+    let base = PlatformConfig::paper_table1();
+    // Cold sweep misses everywhere; the warm rerun hits everywhere —
+    // both land in the same registry, so the hit counter's rise is
+    // visible in the dashboard.
+    let (_, cold) = dse::sweep_metered(&base, &axes, &model, 0, Some(&mut cache), &dse_reg);
+    let (_, warm) = dse::sweep_metered(&base, &axes, &model, 0, Some(&mut cache), &dse_reg);
+    assert!(warm.all_hits(), "second sweep must be all cache hits");
+    let dse_snap = dse_reg.snapshot();
+    println!(
+        "dse metrics: {} grid points cold ({} simulated) + warm rerun — engine\n\
+         counters per 1 µs schedule tick:",
+        cold.points, cold.evaluated
+    );
+    print!("{}", metrics_dashboard(&dse_snap, DASH_WIDTH));
+    std::fs::write(out_dir.join("dse.prom"), export_prometheus(&dse_snap))?;
+    std::fs::write(out_dir.join("dse.jsonl"), export_jsonl(&dse_snap))?;
+    println!("wrote target/metrics/dse.prom and dse.jsonl\n");
+
+    println!("determinism: metered runs matched their unmetered baselines bitwise.");
+    Ok(())
+}

@@ -64,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("normalized energy-per-bit (mono = 1.0)", &rows, |m| {
         m.epb_nj
     });
+    println!("\n{}", lumos::dse::engine_stats_line(&cache, stats.threads));
     cache.flush()?;
     Ok(())
 }

@@ -159,6 +159,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    println!("\n{}", lumos::dse::engine_stats_line(&cache, stats.threads));
     cache.flush()?;
     Ok(())
 }

@@ -21,6 +21,9 @@
 //!   pluggable scheduling, processor-sharing contention, capacity sweeps
 //! * [`trace`] — deterministic sim-time tracing: spans/instants/counters
 //!   on the virtual clock, Chrome trace-event export, span attribution
+//! * [`metrics`] — windowed time-series metrics on the virtual clock:
+//!   gauges, monotone counters, histograms, with byte-deterministic
+//!   Prometheus-text and JSON-lines exports
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@ pub use lumos_core as core;
 pub use lumos_core::dse;
 pub use lumos_dnn as dnn;
 pub use lumos_hbm as hbm;
+pub use lumos_metrics as metrics;
 pub use lumos_noc as noc;
 pub use lumos_phnet as phnet;
 pub use lumos_photonics as photonics;
@@ -61,7 +65,12 @@ pub mod prelude {
         BatchPolicy, DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob,
         XformerAxes,
     };
-    pub use lumos_serve::{simulate, simulate_traced, ServeConfig, ServeReport, ServedModel};
+    pub use lumos_metrics::{
+        export_jsonl, export_prometheus, MetricsConfig, MetricsRegistry, MetricsSnapshot,
+    };
+    pub use lumos_serve::{
+        simulate, simulate_metered, simulate_traced, ServeConfig, ServeReport, ServedModel,
+    };
     pub use lumos_sim::SimTime;
     pub use lumos_trace::{export_chrome_trace, Attribution, TraceConfig, Tracer};
     pub use lumos_xformer::{zoo as xformer_zoo, DecodePhase, KvCache, TransformerConfig};
