@@ -14,11 +14,20 @@
 //! figures (`*_elapsed_s`, `*_points_per_s`) measure this machine and
 //! naturally vary. Headline figures: `dse.cold_points_per_s` (engine
 //! evaluation throughput) and `serve.sustained_tokens_per_s` (the
-//! simulated platform's decode-token throughput).
+//! simulated platform's decode-token throughput). The header also
+//! records the compiling toolchain and every fingerprint key-schema
+//! version, so `--diff` can refuse comparisons whose numbers were
+//! produced under different semantics.
+//!
+//! `lumos-bench --diff OLD.json NEW.json` compares two snapshots with
+//! [`lumos_prof::diff_snapshots`]: simulated metrics at zero tolerance,
+//! wall-clock metrics with slack for host noise. Exit status 1 on any
+//! regression, 2 on a refused comparison, 0 otherwise — CI gates on it.
 //!
 //! ```text
 //! cargo run --release -p lumos-bench -- --json > BENCH_local.json
 //! lumos-bench --json --threads 2    # pin the worker pool
+//! lumos-bench --diff BENCH_old.json BENCH_new.json
 //! ```
 
 use std::time::Instant;
@@ -28,10 +37,16 @@ use lumos_core::{dse, Platform, PlatformConfig, Runner};
 use lumos_dnn::workload::Precision;
 use lumos_dse::{DseAxes, MemoCache, SweepStats};
 use lumos_metrics::json;
+use lumos_prof::diff_snapshots;
 use lumos_serve::{simulate, BatchPolicy, ServeConfig, ServedModel, SharePolicy};
 
 /// Bumped whenever the snapshot's key set or meaning changes.
-const SCHEMA: u64 = 1;
+/// (v2: `toolchain` and `key_schemas` header fields for the `--diff`
+/// comparability gate.)
+const SCHEMA: u64 = 2;
+
+/// The toolchain that compiled this binary (captured by `build.rs`).
+const TOOLCHAIN: &str = env!("LUMOS_RUSTC_VERSION");
 
 /// The serving scenario the snapshot times: the CNN + generator mix the
 /// serve test suite pins, under continuous batching.
@@ -132,11 +147,46 @@ fn snapshot_json(threads: usize) -> String {
     json::object(&[
         ("schema", SCHEMA.to_string()),
         ("generator", json::string("lumos-bench")),
+        ("toolchain", json::string(TOOLCHAIN)),
         ("threads", threads.to_string()),
+        (
+            "key_schemas",
+            json::object(&[
+                ("core", dse::KEY_SCHEMA.to_string()),
+                ("serve", lumos_serve::dse::SERVE_KEY_SCHEMA.to_string()),
+                (
+                    "xformer",
+                    lumos_xformer::dse::XFORMER_KEY_SCHEMA.to_string(),
+                ),
+            ]),
+        ),
         ("dse", dse_obj),
         ("serve", serve_obj),
         ("runner", format!("[{}]", platforms.join(","))),
     ])
+}
+
+/// The `--diff` subcommand: compares two snapshot files, prints the
+/// report, and exits 1 on regression / 2 on a refused comparison.
+fn run_diff(old_path: &str, new_path: &str) -> ! {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("lumos-bench --diff: cannot read '{path}': {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+    match diff_snapshots(&old, &new, &lumos_prof::diff::default_rules()) {
+        Err(err) => {
+            eprintln!("lumos-bench --diff: {err}");
+            std::process::exit(2);
+        }
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.has_regressions() { 1 } else { 0 });
+        }
+    }
 }
 
 fn main() {
@@ -146,9 +196,21 @@ fn main() {
         println!("{}", snapshot_json(threads));
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(old), Some(new)) => run_diff(old, new),
+            _ => {
+                eprintln!("usage: lumos-bench --diff OLD.json NEW.json");
+                std::process::exit(2);
+            }
+        }
+    }
     eprintln!("lumos-bench: machine-readable perf snapshots of the LUMOS simulator");
     eprintln!();
     eprintln!("usage: lumos-bench --json [--threads N]   write one snapshot object to stdout");
+    eprintln!("       lumos-bench --diff OLD.json NEW.json");
+    eprintln!("                                          compare two snapshots; exit 1 on");
+    eprintln!("                                          regression, 2 on refusal");
     eprintln!();
     eprintln!("The dedicated harness binaries regenerate the paper artifacts:");
     eprintln!("  cargo run --release -p lumos-bench --bin tables");

@@ -269,7 +269,7 @@ mod tests {
         assert_eq!(cfg.conv3.total_units(), 132);
         // Σ units × lanes = 8·100 + 8·49 + 32·25 + 132·9.
         assert_eq!(cfg.total_lanes(), 800 + 392 + 800 + 1188);
-        cfg.validate().unwrap();
+        cfg.validate().expect("Table 1 configuration validates");
     }
 
     #[test]

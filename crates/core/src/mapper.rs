@@ -130,7 +130,9 @@ fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementS
     order.sort_by(|&a, &b| {
         let fa = quotas[a] - quotas[a].floor();
         let fb = quotas[b] - quotas[b].floor();
-        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        fb.partial_cmp(&fa)
+            .expect("fractional quota parts are finite")
+            .then(a.cmp(&b))
     });
     let mut next = 0usize;
     while remainder > 0 {
@@ -234,7 +236,7 @@ mod tests {
         let cfg = PlatformConfig::paper_table1();
         let work = workloads_of(zoo::vgg16());
         for w in work.iter().take(13) {
-            let p = place(&cfg, w).unwrap();
+            let p = place(&cfg, w).expect("every resnet50 workload places");
             assert_eq!(p.class, MacClass::Conv3, "{}", w.name);
             assert_eq!(p.units, 132);
             assert_eq!(p.shares.len(), 1);
@@ -245,21 +247,33 @@ mod tests {
     fn fc_and_pointwise_go_to_dense() {
         let cfg = PlatformConfig::paper_table1();
         let work = workloads_of(zoo::resnet50());
-        let stem = place(&cfg, &work[0]).unwrap();
+        let stem = place(&cfg, &work[0]).expect("stem conv places");
         assert_eq!(stem.class, MacClass::Conv7); // 7×7 stem
-        let pointwise = work.iter().find(|w| w.name == "conv2_1_1_conv").unwrap();
-        assert_eq!(place(&cfg, pointwise).unwrap().class, MacClass::Dense100);
-        let fc = work.iter().find(|w| w.name == "predictions").unwrap();
-        assert_eq!(place(&cfg, fc).unwrap().class, MacClass::Dense100);
+        let pointwise = work
+            .iter()
+            .find(|w| w.name == "conv2_1_1_conv")
+            .expect("resnet50 lowers a conv2_1_1_conv workload");
+        assert_eq!(
+            place(&cfg, pointwise).expect("pointwise conv places").class,
+            MacClass::Dense100
+        );
+        let fc = work
+            .iter()
+            .find(|w| w.name == "predictions")
+            .expect("resnet50 lowers a predictions workload");
+        assert_eq!(
+            place(&cfg, fc).expect("classifier places").class,
+            MacClass::Dense100
+        );
     }
 
     #[test]
     fn softmax_rides_the_dense_chiplets() {
         let cfg = PlatformConfig::paper_table1();
         let work = workloads_of(zoo::resnet50());
-        let sm = work.last().unwrap();
+        let sm = work.last().expect("lowered stream is non-empty");
         assert_eq!(sm.class, KernelClass::Softmax);
-        let p = place(&cfg, sm).unwrap();
+        let p = place(&cfg, sm).expect("softmax workload places");
         assert_eq!(p.class, MacClass::Dense100);
         assert_eq!(p.shares.len(), 1);
     }
@@ -268,8 +282,11 @@ mod tests {
     fn depthwise_goes_to_conv3() {
         let cfg = PlatformConfig::paper_table1();
         let work = workloads_of(zoo::mobilenet_v2());
-        let dw = work.iter().find(|w| w.name == "block_1_depthwise").unwrap();
-        let p = place(&cfg, dw).unwrap();
+        let dw = work
+            .iter()
+            .find(|w| w.name == "block_1_depthwise")
+            .expect("mobilenet lowers a block_1_depthwise workload");
+        let p = place(&cfg, dw).expect("depthwise conv places");
         assert_eq!(p.class, MacClass::Conv3);
         // Depthwise 3×3 fits one pass per output.
         assert_eq!(p.passes, dw.dot_products);
@@ -279,7 +296,7 @@ mod tests {
     fn lenet_5x5_goes_to_conv5() {
         let cfg = PlatformConfig::paper_table1();
         let work = workloads_of(zoo::lenet5());
-        let p = place(&cfg, &work[1]).unwrap();
+        let p = place(&cfg, &work[1]).expect("second workload places");
         assert_eq!(p.class, MacClass::Conv5);
         // 16 output maps of 10×10, reduced over 6 input channels: one
         // 25-lane pass per (output, channel) pair.
@@ -300,7 +317,7 @@ mod tests {
             input_bits: 0,
             output_bits: 0,
         };
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         assert_eq!(p.class, MacClass::Conv7);
         // Each 121-wide chunk needs ceil(121/49)=3 passes, 3 chunks/dot.
         assert_eq!(p.passes, 100 * 3 * 3);
@@ -310,7 +327,7 @@ mod tests {
     fn gemm_spreads_over_every_class() {
         let cfg = PlatformConfig::paper_table1();
         let w = gemm_workload(512, 768, 768, 4);
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         assert_eq!(p.shares.len(), 4, "large GEMM engages all classes");
         assert_eq!(p.chiplets.len(), cfg.compute_chiplets());
         let dots: u64 = p.shares.iter().map(|s| s.dots).sum();
@@ -324,7 +341,7 @@ mod tests {
     fn gemm_split_is_throughput_balanced() {
         let cfg = PlatformConfig::paper_table1();
         let w = gemm_workload(512, 512, 64, 96); // attention scores shape
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         // Per-share completion time (passes/units) must be within one
         // pass-per-dot granule of the slowest share.
         let time = |s: &PlacementShare| s.passes as f64 / s.units as f64;
@@ -345,7 +362,7 @@ mod tests {
     fn tiny_gemm_drops_empty_shares() {
         let cfg = PlatformConfig::paper_table1();
         let w = gemm_workload(1, 2, 64, 1); // 2 dot products
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         let dots: u64 = p.shares.iter().map(|s| s.dots).sum();
         assert_eq!(dots, 2);
         assert!(p.shares.iter().all(|s| s.dots > 0));
@@ -359,7 +376,7 @@ mod tests {
         let mut w = gemm_workload(1, 1, 64, 1);
         w.dot_products = 0;
         w.macs = 0;
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         assert!(!p.chiplets.is_empty());
         assert_eq!(p.passes, 0);
         // Zero-length reduction: rates stay finite, dots conserved.
@@ -367,7 +384,7 @@ mod tests {
         w.dot_length = 0;
         w.window = 0;
         w.macs = 0;
-        let p = place(&cfg, &w).unwrap();
+        let p = place(&cfg, &w).expect("workload places");
         assert_eq!(p.shares.iter().map(|s| s.dots).sum::<u64>(), 16);
     }
 
@@ -375,8 +392,8 @@ mod tests {
     fn gemm_split_deterministic() {
         let cfg = PlatformConfig::paper_table1();
         let w = gemm_workload(128, 3072, 768, 8);
-        let a = place(&cfg, &w).unwrap();
-        let b = place(&cfg, &w).unwrap();
+        let a = place(&cfg, &w).expect("workload places");
+        let b = place(&cfg, &w).expect("workload places again");
         assert_eq!(a, b);
     }
 }

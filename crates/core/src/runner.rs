@@ -523,6 +523,7 @@ impl Runner {
                         ("class", ArgValue::from(format!("{:?}", placement.class))),
                         ("kernel", ArgValue::from(kernel.as_str())),
                         ("bits", ArgValue::U64(w.total_bits())),
+                        ("macs", ArgValue::U64(w.macs)),
                     ],
                 );
                 self.tracer.span(

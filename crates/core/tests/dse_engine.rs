@@ -17,7 +17,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
         tag,
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::create_dir_all(&dir).expect("temp cache dir creates");
     dir
 }
 
@@ -65,19 +65,19 @@ fn persisted_cache_warm_starts_a_fresh_process_state() {
     };
     let model = zoo::lenet5();
     let cold = {
-        let mut cache = MemoCache::persistent(&dir).unwrap();
+        let mut cache = MemoCache::persistent(&dir).expect("persistent cache opens");
         let (points, stats) = dse::sweep_with(&base, &axes, &model, 0, Some(&mut cache));
         assert_eq!(stats.evaluated, 4);
         points
     }; // cache dropped => flushed, as at process exit
-    let mut cache = MemoCache::persistent(&dir).unwrap();
+    let mut cache = MemoCache::persistent(&dir).expect("persistent cache opens");
     assert_eq!(cache.loaded_from_disk(), 4);
     let (warm, stats) = dse::sweep_with(&base, &axes, &model, 0, Some(&mut cache));
     assert!(stats.all_hits());
     for (w, c) in warm.iter().zip(&cold) {
         assert!(w.bit_eq(c));
     }
-    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).expect("temp cache dir removes");
 }
 
 #[test]

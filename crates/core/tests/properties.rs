@@ -74,8 +74,8 @@ proptest! {
     #[test]
     fn runner_deterministic(model in random_cnn()) {
         let runner = Runner::new(PlatformConfig::paper_table1());
-        let a = runner.run(&Platform::Siph2p5D, &model).unwrap();
-        let b = runner.run(&Platform::Siph2p5D, &model).unwrap();
+        let a = runner.run(&Platform::Siph2p5D, &model).expect("valid model runs");
+        let b = runner.run(&Platform::Siph2p5D, &model).expect("rerun also runs");
         prop_assert_eq!(a.total_latency, b.total_latency);
         prop_assert_eq!(a.energy, b.energy);
         prop_assert_eq!(a.bits_moved, b.bits_moved);
@@ -88,8 +88,12 @@ proptest! {
         cfg8.precision = lumos_dnn::Precision::int8();
         let mut cfg16 = PlatformConfig::paper_table1();
         cfg16.precision = lumos_dnn::Precision::int16();
-        let r8 = Runner::new(cfg8).run(&Platform::Siph2p5D, &model).unwrap();
-        let r16 = Runner::new(cfg16).run(&Platform::Siph2p5D, &model).unwrap();
+        let r8 = Runner::new(cfg8)
+            .run(&Platform::Siph2p5D, &model)
+            .expect("int8 model runs");
+        let r16 = Runner::new(cfg16)
+            .run(&Platform::Siph2p5D, &model)
+            .expect("int16 model runs");
         prop_assert_eq!(r16.bits_moved, 2 * r8.bits_moved);
         prop_assert!(r16.total_latency >= r8.total_latency);
     }
@@ -101,8 +105,12 @@ proptest! {
         let mut pre = PlatformConfig::paper_table1();
         pre.calibration.prefetch_weights = true;
         for platform in Platform::all() {
-            let without = Runner::new(base.clone()).run(&platform, &model).unwrap();
-            let with = Runner::new(pre.clone()).run(&platform, &model).unwrap();
+            let without = Runner::new(base.clone())
+                .run(&platform, &model)
+                .expect("baseline model runs");
+            let with = Runner::new(pre.clone())
+                .run(&platform, &model)
+                .expect("pre-emphasis model runs");
             prop_assert!(
                 with.total_latency <= without.total_latency,
                 "{platform}: prefetch regressed"

@@ -339,7 +339,7 @@ mod tests {
             8000,
             30.0,
         )
-        .unwrap();
+        .expect("low-margin budget solves");
         let hi = solve_link(
             &LinkBudget::new().stage("p", Decibels::new(15.0)),
             &plan,
@@ -350,7 +350,7 @@ mod tests {
             8000,
             30.0,
         )
-        .unwrap();
+        .expect("high-margin budget solves");
         assert!(hi.required_at_laser.as_dbm() > lo.required_at_laser.as_dbm());
         assert!(
             (hi.required_at_laser.as_dbm() - lo.required_at_laser.as_dbm() - 10.0).abs() < 1e-9
@@ -428,7 +428,7 @@ mod tests {
             8000,
             30.0,
         )
-        .unwrap();
+        .expect("PAM4 design solves");
         assert_eq!(design.aggregate_rate_gbps, 8.0 * 24.0);
     }
 
@@ -476,7 +476,7 @@ mod tests {
             8000,
             25.0,
         )
-        .unwrap();
+        .expect("healthy link solves");
         let epb = design.laser_energy_per_bit();
         // Laser EPB for a healthy link should land in fJ..pJ territory.
         assert!(epb > 1e-16 && epb < 1e-10, "laser EPB {epb} out of range");

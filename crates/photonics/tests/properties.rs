@@ -98,11 +98,11 @@ proptest! {
         let a = solve_link(
             &LinkBudget::new().stage("p", Decibels::new(loss)),
             &plan, 12.0, &m, &d, &l, 12_000, 60.0,
-        ).unwrap();
+        ).expect("baseline budget solves");
         let b = solve_link(
             &LinkBudget::new().stage("p", Decibels::new(loss + extra)),
             &plan, 12.0, &m, &d, &l, 12_000, 60.0,
-        ).unwrap();
+        ).expect("lossier budget also solves");
         prop_assert!(b.laser_electrical_w >= a.laser_electrical_w);
     }
 

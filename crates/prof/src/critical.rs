@@ -1,0 +1,411 @@
+//! Critical-path extraction over span causality edges.
+//!
+//! Spans form a DAG under two deterministic edge families:
+//!
+//! * **lane order** — spans on the same `(pid, tid)` lane model one
+//!   resource (a MAC-class lane, an HBM channel stream, a residency
+//!   slot); each span depends on the previous non-overlapping span on
+//!   its lane, and
+//! * **request order** — spans carrying the same `id` argument belong
+//!   to one request's lifecycle and depend on the request's previous
+//!   span regardless of lane (a queue span on the queue lane precedes
+//!   the prefill on the residency slot).
+//!
+//! The critical path is the longest virtual-time chain through that
+//! DAG; every off-path span gets a **slack** — how much longer it
+//! could have run without moving the end of the run. Rollup spans
+//! (category `"op"`, the runner's whole-layer lane) are excluded when
+//! their decomposition (compute/HBM/network spans of the same layer)
+//! is present, so the path names the resource that actually binds.
+//!
+//! Everything is a pure function of the event list: byte-identical
+//! exports across same-seed reruns.
+
+use std::collections::BTreeMap;
+
+use lumos_trace::{ArgValue, EventKind, TraceEvent};
+
+/// One span on (or off) the critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Span name (layer, model, or kernel name).
+    pub name: String,
+    /// Span category (`"kernel:gemv"`, `"link:hbm"`, `"decode"`, …).
+    pub cat: String,
+    /// Trace process (platform) id.
+    pub pid: u32,
+    /// Trace lane (tid) the span ran on.
+    pub tid: u32,
+    /// Start on the virtual clock, picoseconds.
+    pub ts_ps: u64,
+    /// Duration, picoseconds.
+    pub dur_ps: u64,
+    /// Slack against the critical path, picoseconds (0 for segments on
+    /// the path).
+    pub slack_ps: u64,
+}
+
+/// The longest virtual-time chain of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Sum of the path segments' durations, picoseconds.
+    pub total_ps: u64,
+    /// Spans considered (rollups excluded).
+    pub span_count: usize,
+    /// The path, in virtual-time order. Empty when the trace holds no
+    /// spans.
+    pub segments: Vec<PathSegment>,
+    /// Minimum slack per category across *all* considered spans,
+    /// sorted by category name — categories at 0 have at least one
+    /// span on the path; small values are nearly binding.
+    pub cat_slack: Vec<(String, u64)>,
+}
+
+impl CriticalPath {
+    /// Virtual time attributed to each category along the path,
+    /// sorted by category name.
+    pub fn cat_totals(&self) -> Vec<(String, u64)> {
+        let mut by_cat: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.segments {
+            *by_cat.entry(s.cat.as_str()).or_insert(0) += s.dur_ps;
+        }
+        by_cat.into_iter().map(|(c, v)| (c.to_owned(), v)).collect()
+    }
+
+    /// Renders the path (and the near-critical slack table) as
+    /// deterministic text — a pure function of `self`, byte-identical
+    /// across same-seed reruns.
+    pub fn export(&self) -> String {
+        let mut out = format!(
+            "critical path: {} us over {} segments ({} spans considered)\n",
+            us(self.total_ps),
+            self.segments.len(),
+            self.span_count
+        );
+        out.push_str("  #     ts(us)        dur(us)       lane   cat                   name\n");
+        for (i, s) in self.segments.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:<5} {:<13} {:<13} {}/{:<4} {:<21} {}\n",
+                i,
+                us(s.ts_ps),
+                us(s.dur_ps),
+                s.pid,
+                s.tid,
+                s.cat,
+                s.name
+            ));
+        }
+        out.push_str("time on path by category:\n");
+        for (cat, ps) in self.cat_totals() {
+            out.push_str(&format!("  {:<21} {}\n", cat, us(ps)));
+        }
+        out.push_str("min slack by category:\n");
+        for (cat, slack) in &self.cat_slack {
+            out.push_str(&format!("  {:<21} {}\n", cat, us(*slack)));
+        }
+        out
+    }
+}
+
+/// Renders picoseconds as microseconds with six fractional digits
+/// using pure integer math (no float formatting on the clock path).
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// First `u64` argument named `key`, if any.
+fn arg_u64(e: &TraceEvent, key: &str) -> Option<u64> {
+    e.args.iter().find_map(|(k, v)| match v {
+        ArgValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// The runner's whole-layer rollup category: excluded from the path
+/// whenever its decomposition (same pid and name, different category)
+/// is traced alongside it.
+const ROLLUP_CAT: &str = "op";
+
+struct Node {
+    idx: usize,
+    ts: u64,
+    end: u64,
+    dur: u64,
+    lane: (u32, u32),
+    id: Option<u64>,
+}
+
+/// Extracts the critical path of `events` — the longest virtual-time
+/// chain over lane-order and request-order edges. See the module docs
+/// for the edge semantics.
+pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
+    // Rollup spans whose decomposition is present are dropped so the
+    // path names the binding resource, not the per-layer envelope.
+    let decomposed: std::collections::BTreeSet<(u32, &str)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Span { .. } if e.cat != ROLLUP_CAT => Some((e.pid, e.name.as_str())),
+            _ => None,
+        })
+        .collect();
+    let keep = |e: &TraceEvent| -> bool {
+        e.cat != ROLLUP_CAT || !decomposed.contains(&(e.pid, e.name.as_str()))
+    };
+
+    let mut nodes: Vec<Node> = Vec::new();
+    for (idx, e) in events.iter().enumerate() {
+        if let EventKind::Span { dur_ps } = e.kind {
+            if keep(e) {
+                nodes.push(Node {
+                    idx,
+                    ts: e.ts_ps,
+                    end: e.ts_ps.saturating_add(dur_ps),
+                    dur: dur_ps,
+                    lane: (e.pid, e.tid),
+                    id: arg_u64(e, "id"),
+                });
+            }
+        }
+    }
+    // Topological (and tie-stable) order: start, end, record order.
+    nodes.sort_by_key(|n| (n.ts, n.end, n.idx));
+
+    // Edge lists in topo-index space. Each node gains at most one
+    // successor per family: the next non-overlapping span on its lane,
+    // and the next non-overlapping span of its request.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut groups: BTreeMap<(u64, u64, u64), Vec<usize>> = BTreeMap::new();
+    for (t, n) in nodes.iter().enumerate() {
+        groups
+            .entry((0, u64::from(n.lane.0), u64::from(n.lane.1)))
+            .or_default()
+            .push(t);
+        if let Some(id) = n.id {
+            groups.entry((1, id, 0)).or_default().push(t);
+        }
+    }
+    for members in groups.values() {
+        // Members are in topo order, so start times are nondecreasing:
+        // the first non-overlapping successor is a binary search away.
+        for (i, &a) in members.iter().enumerate() {
+            let j = members[i + 1..].partition_point(|&b| nodes[b].ts < nodes[a].end);
+            if let Some(&b) = members[i + 1..].get(j) {
+                succs[a].push(b);
+                preds[b].push(a);
+            }
+        }
+    }
+
+    // Longest chain ending at each node (forward), starting at each
+    // node (backward); edges always point forward in topo order.
+    let mut dist = vec![0u64; nodes.len()];
+    for t in 0..nodes.len() {
+        let best_in = preds[t].iter().map(|&p| dist[p]).max().unwrap_or(0);
+        dist[t] = best_in + nodes[t].dur;
+    }
+    let mut back = vec![0u64; nodes.len()];
+    for t in (0..nodes.len()).rev() {
+        let best_out = succs[t].iter().map(|&s| back[s]).max().unwrap_or(0);
+        back[t] = best_out + nodes[t].dur;
+    }
+
+    let total_ps = dist.iter().copied().max().unwrap_or(0);
+    let mut cat_slack: BTreeMap<String, u64> = BTreeMap::new();
+    for (t, n) in nodes.iter().enumerate() {
+        let through = dist[t] + back[t] - n.dur;
+        let slack = total_ps - through;
+        let cat = &events[n.idx].cat;
+        cat_slack
+            .entry(cat.clone())
+            .and_modify(|s| *s = (*s).min(slack))
+            .or_insert(slack);
+    }
+
+    // Reconstruct one longest path, tie-broken toward the earliest
+    // topo index at every hop (deterministic).
+    let mut segments = Vec::new();
+    if let Some(mut v) = (0..nodes.len()).find(|&t| dist[t] == total_ps && total_ps > 0) {
+        loop {
+            segments.push(v);
+            let need = dist[v] - nodes[v].dur;
+            match preds[v].iter().copied().find(|&p| dist[p] == need) {
+                Some(p) if need > 0 => v = p,
+                _ => break,
+            }
+        }
+        segments.reverse();
+    }
+    let segments = segments
+        .into_iter()
+        .map(|t| {
+            let e = &events[nodes[t].idx];
+            PathSegment {
+                name: e.name.clone(),
+                cat: e.cat.clone(),
+                pid: e.pid,
+                tid: e.tid,
+                ts_ps: nodes[t].ts,
+                dur_ps: nodes[t].dur,
+                slack_ps: 0,
+            }
+        })
+        .collect();
+
+    CriticalPath {
+        total_ps,
+        span_count: nodes.len(),
+        segments,
+        cat_slack: cat_slack.into_iter().collect(),
+    }
+}
+
+/// Per-request critical paths: [`critical_path`] restricted to the
+/// spans of each request `id`, returned in ascending id order. A
+/// request's spans chain linearly (queue → admit → stages), so its
+/// path is its lifecycle chain.
+pub fn request_paths(events: &[TraceEvent]) -> Vec<(u64, CriticalPath)> {
+    let mut ids: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+        .filter_map(|e| arg_u64(e, "id"))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .map(|id| {
+            let spans: Vec<TraceEvent> = events
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind, EventKind::Span { .. }) && arg_u64(e, "id") == Some(id)
+                })
+                .cloned()
+                .collect();
+            (id, critical_path(&spans))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_trace::Tracer;
+
+    fn span(pid: u32, tid: u32, cat: &str, name: &str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid,
+            ts_ps: ts,
+            kind: EventKind::Span { dur_ps: dur },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_empty_path() {
+        let p = critical_path(&[]);
+        assert_eq!(p.total_ps, 0);
+        assert!(p.segments.is_empty());
+        assert!(p.export().contains("critical path: 0.000000 us"));
+    }
+
+    #[test]
+    fn lane_chain_sums_and_slack_is_zero_on_path() {
+        let events = vec![
+            span(1, 2, "link:hbm", "a", 0, 100),
+            span(1, 2, "link:hbm", "b", 100, 200),
+            span(1, 1, "kernel:gemv", "a", 0, 50),
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.total_ps, 300);
+        assert_eq!(p.segments.len(), 2);
+        assert!(p.segments.iter().all(|s| s.cat == "link:hbm"));
+        let slack: std::collections::BTreeMap<_, _> = p.cat_slack.iter().cloned().collect();
+        assert_eq!(slack["link:hbm"], 0);
+        assert_eq!(slack["kernel:gemv"], 250);
+    }
+
+    #[test]
+    fn id_edges_cross_lanes() {
+        let t = Tracer::ring(16);
+        t.span(
+            1,
+            9,
+            "queue",
+            "queued",
+            0,
+            400,
+            vec![("id", ArgValue::U64(7))],
+        );
+        t.span(
+            1,
+            1,
+            "prefill",
+            "m",
+            400,
+            600,
+            vec![("id", ArgValue::U64(7))],
+        );
+        let p = critical_path(&t.drain());
+        assert_eq!(p.total_ps, 1000);
+        assert_eq!(p.segments.len(), 2);
+        assert_eq!(p.segments[0].cat, "queue");
+        assert_eq!(p.segments[1].cat, "prefill");
+    }
+
+    #[test]
+    fn rollup_spans_yield_to_their_decomposition() {
+        let events = vec![
+            span(1, 0, "op", "conv1", 0, 1000),
+            span(1, 1, "kernel:conv3x3", "conv1", 0, 700),
+            span(1, 2, "link:hbm", "conv1", 0, 900),
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.span_count, 2, "op rollup excluded");
+        assert_eq!(p.total_ps, 900);
+        assert_eq!(p.segments[0].cat, "link:hbm");
+    }
+
+    #[test]
+    fn rollup_kept_when_nothing_decomposes_it() {
+        let events = vec![span(1, 0, "op", "conv1", 0, 1000)];
+        let p = critical_path(&events);
+        assert_eq!(p.span_count, 1);
+        assert_eq!(p.total_ps, 1000);
+    }
+
+    #[test]
+    fn per_request_paths_are_linear_chains() {
+        let mut events = Vec::new();
+        for id in 0..2u64 {
+            events.push(TraceEvent {
+                args: vec![("id", ArgValue::U64(id))],
+                ..span(1, 1 + id as u32, "prefill", "m", 100 * id, 50)
+            });
+            events.push(TraceEvent {
+                args: vec![("id", ArgValue::U64(id))],
+                ..span(1, 1 + id as u32, "decode", "m", 100 * id + 50, 25)
+            });
+        }
+        let paths = request_paths(&events);
+        assert_eq!(paths.len(), 2);
+        for (id, p) in paths {
+            assert_eq!(p.total_ps, 75, "request {id}");
+            assert_eq!(p.segments.len(), 2);
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            span(1, 2, "link:hbm", "a", 0, 100),
+            span(1, 1, "kernel:gemv", "a", 20, 50),
+        ];
+        assert_eq!(
+            critical_path(&events).export(),
+            critical_path(&events).export()
+        );
+    }
+}

@@ -1,0 +1,523 @@
+//! Perf-regression differ over two `lumos-bench --json` snapshots.
+//!
+//! `lumos-bench --diff OLD.json NEW.json` walks every numeric leaf of
+//! both snapshots by dotted path, matches each path against a rule
+//! table of per-metric directions and relative tolerances, and
+//! reports improvements, regressions, and informational drift.
+//! Simulated metrics (sustained throughput, latency, energy) carry
+//! zero tolerance — they are deterministic and any change is a real
+//! behaviour change — while wall-clock metrics (`*_elapsed_s`,
+//! `*_points_per_s`) get loose tolerances because host timing noise
+//! is not a regression.
+//!
+//! Snapshots declare their schema, result-key schemas, and toolchain
+//! in the header; a schema mismatch *refuses* the comparison (the
+//! numbers mean different things), while a toolchain mismatch only
+//! warns.
+
+use crate::jsonv::{self, Value};
+
+/// Which direction is better for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is better (throughput).
+    HigherBetter,
+    /// Smaller is better (latency, energy, elapsed time).
+    LowerBetter,
+    /// Neither: report drift, never flag it.
+    Info,
+}
+
+/// One matching rule: metrics whose dotted path ends with `suffix`
+/// compare with `direction` and relative `tolerance`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Path suffix the rule applies to (matched against the dotted
+    /// leaf path, most-specific rule first).
+    pub suffix: &'static str,
+    /// Which direction is better.
+    pub direction: Direction,
+    /// Relative change tolerated before flagging (0.0 = exact).
+    pub tolerance: f64,
+}
+
+/// The default rule table, most-specific first.
+///
+/// Wall-clock keys tolerate host noise; simulated keys are exact.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            suffix: "_elapsed_s",
+            direction: Direction::LowerBetter,
+            tolerance: 0.5,
+        },
+        Rule {
+            suffix: "_points_per_s",
+            direction: Direction::HigherBetter,
+            tolerance: 0.3,
+        },
+        Rule {
+            suffix: "sustained_tokens_per_s",
+            direction: Direction::HigherBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "tokens_per_s",
+            direction: Direction::HigherBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "_ms",
+            direction: Direction::LowerBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "_fps",
+            direction: Direction::HigherBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "_j",
+            direction: Direction::LowerBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "_w",
+            direction: Direction::LowerBetter,
+            tolerance: 0.0,
+        },
+        Rule {
+            suffix: "_nj",
+            direction: Direction::LowerBetter,
+            tolerance: 0.0,
+        },
+    ]
+}
+
+/// Verdict on one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or bit-identical).
+    Unchanged,
+    /// Moved in the good direction beyond tolerance.
+    Improved,
+    /// Moved in the bad direction beyond tolerance.
+    Regressed,
+    /// Changed, but the metric is informational.
+    Drifted,
+    /// Present in only one snapshot.
+    Missing,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Unchanged => "unchanged",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Drifted => "drifted",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Dotted path of the numeric leaf (e.g.
+    /// `serve.siph.sustained_tokens_per_s`).
+    pub path: String,
+    /// Old value (`None` when the leaf is new).
+    pub old: Option<f64>,
+    /// New value (`None` when the leaf disappeared).
+    pub new: Option<f64>,
+    /// Verdict under the matched rule.
+    pub verdict: Verdict,
+}
+
+impl DiffLine {
+    /// Relative change `(new - old) / |old|`, when both sides exist
+    /// and old is nonzero.
+    pub fn rel_change(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o != 0.0 => Some((n - o) / o.abs()),
+            _ => None,
+        }
+    }
+}
+
+/// A refused comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// A snapshot failed to parse as JSON.
+    Parse(String),
+    /// The snapshot schemas differ; the numbers are not comparable.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::Parse(msg) => write!(f, "snapshot parse error: {msg}"),
+            DiffError::SchemaMismatch(msg) => {
+                write!(f, "refusing cross-schema comparison: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every compared numeric leaf, in old-snapshot path order.
+    pub lines: Vec<DiffLine>,
+    /// Header warnings (toolchain drift, missing header fields) that
+    /// do not refuse the comparison.
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether any metric regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.lines.iter().any(|l| l.verdict == Verdict::Regressed)
+    }
+
+    /// Lines with a given verdict.
+    pub fn with_verdict(&self, v: Verdict) -> impl Iterator<Item = &DiffLine> {
+        self.lines.iter().filter(move |l| l.verdict == v)
+    }
+
+    /// Renders the report as deterministic text: warnings, changed
+    /// metrics, then a summary count line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for l in &self.lines {
+            if l.verdict == Verdict::Unchanged {
+                continue;
+            }
+            let old = l.old.map(fmt_num).unwrap_or_else(|| "-".to_owned());
+            let new = l.new.map(fmt_num).unwrap_or_else(|| "-".to_owned());
+            let rel = l
+                .rel_change()
+                .map(|r| format!(" ({}%)", fmt_num(r * 100.0)))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{:<10} {} {} -> {}{}\n",
+                l.verdict.label(),
+                l.path,
+                old,
+                new,
+                rel
+            ));
+        }
+        let (mut regressed, mut improved, mut drifted, mut missing) = (0, 0, 0, 0);
+        for l in &self.lines {
+            match l.verdict {
+                Verdict::Regressed => regressed += 1,
+                Verdict::Improved => improved += 1,
+                Verdict::Drifted => drifted += 1,
+                Verdict::Missing => missing += 1,
+                Verdict::Unchanged => {}
+            }
+        }
+        out.push_str(&format!(
+            "diff: {} metrics, {} regressed, {} improved, {} drifted, {} missing\n",
+            self.lines.len(),
+            regressed,
+            improved,
+            drifted,
+            missing
+        ));
+        out
+    }
+}
+
+/// Deterministic fixed-point rendering (3 fractional digits).
+fn fmt_num(x: f64) -> String {
+    let milli = (x * 1e3).round() as i64;
+    format!("{}.{:03}", milli / 1000, (milli % 1000).unsigned_abs())
+}
+
+fn collect_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Num(n) => out.push((prefix.to_owned(), *n)),
+        Value::Obj(fields) => {
+            for (k, child) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                collect_leaves(&path, child, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect_leaves(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn header_check(old: &Value, new: &Value) -> Result<Vec<String>, DiffError> {
+    let mut warnings = Vec::new();
+    let schema = |v: &Value| v.get("schema").and_then(Value::as_num);
+    match (schema(old), schema(new)) {
+        (Some(a), Some(b)) if a != b => {
+            return Err(DiffError::SchemaMismatch(format!(
+                "snapshot schema {} vs {}",
+                a as i64, b as i64
+            )));
+        }
+        (None, _) | (_, None) => {
+            return Err(DiffError::SchemaMismatch(
+                "snapshot missing 'schema' header field".to_owned(),
+            ));
+        }
+        _ => {}
+    }
+    match (old.get("key_schemas"), new.get("key_schemas")) {
+        (Some(a), Some(b)) if a != b => {
+            return Err(DiffError::SchemaMismatch(
+                "result key_schemas differ between snapshots".to_owned(),
+            ));
+        }
+        (None, None) => {
+            warnings.push("snapshots carry no key_schemas header (pre-schema-2)".to_owned());
+        }
+        (None, _) | (_, None) => {
+            return Err(DiffError::SchemaMismatch(
+                "only one snapshot declares key_schemas".to_owned(),
+            ));
+        }
+        _ => {}
+    }
+    let toolchain = |v: &Value| {
+        v.get("toolchain")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+    };
+    match (toolchain(old), toolchain(new)) {
+        (Some(a), Some(b)) if a != b => {
+            warnings.push(format!("toolchain changed: '{a}' -> '{b}'"));
+        }
+        (None, None) => {}
+        (a, b) => {
+            if a.is_none() != b.is_none() {
+                warnings.push("only one snapshot declares a toolchain".to_owned());
+            }
+        }
+    }
+    Ok(warnings)
+}
+
+/// Non-metric header leaves that should never be compared as numbers.
+const HEADER_PATHS: &[&str] = &["schema", "threads"];
+
+/// Compares two snapshot documents under `rules`.
+///
+/// Walks every numeric leaf by dotted path; paths present in only one
+/// snapshot report [`Verdict::Missing`]. Returns an error — refusing
+/// the comparison outright — on malformed JSON or mismatched
+/// schema/key-schema headers.
+pub fn diff_snapshots(
+    old_text: &str,
+    new_text: &str,
+    rules: &[Rule],
+) -> Result<DiffReport, DiffError> {
+    let old = jsonv::parse(old_text).map_err(DiffError::Parse)?;
+    let new = jsonv::parse(new_text).map_err(DiffError::Parse)?;
+    let warnings = header_check(&old, &new)?;
+
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    collect_leaves("", &old, &mut old_leaves);
+    collect_leaves("", &new, &mut new_leaves);
+    let is_header = |path: &str| HEADER_PATHS.contains(&path) || path.starts_with("key_schemas.");
+
+    let mut lines = Vec::new();
+    for (path, old_v) in &old_leaves {
+        if is_header(path) {
+            continue;
+        }
+        let new_v = new_leaves.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        let verdict = match new_v {
+            None => Verdict::Missing,
+            Some(n) => classify(path, *old_v, n, rules),
+        };
+        lines.push(DiffLine {
+            path: path.clone(),
+            old: Some(*old_v),
+            new: new_v,
+            verdict,
+        });
+    }
+    for (path, new_v) in &new_leaves {
+        if is_header(path) {
+            continue;
+        }
+        if !old_leaves.iter().any(|(p, _)| p == path) {
+            lines.push(DiffLine {
+                path: path.clone(),
+                old: None,
+                new: Some(*new_v),
+                verdict: Verdict::Missing,
+            });
+        }
+    }
+    Ok(DiffReport { lines, warnings })
+}
+
+fn classify(path: &str, old: f64, new: f64, rules: &[Rule]) -> Verdict {
+    if old == new {
+        return Verdict::Unchanged;
+    }
+    let rule = rules.iter().find(|r| path.ends_with(r.suffix));
+    let Some(rule) = rule else {
+        return Verdict::Drifted;
+    };
+    if rule.direction == Direction::Info {
+        return Verdict::Drifted;
+    }
+    let rel = if old != 0.0 {
+        (new - old) / old.abs()
+    } else if new > 0.0 {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    };
+    let good = match rule.direction {
+        Direction::HigherBetter => rel,
+        Direction::LowerBetter => -rel,
+        Direction::Info => unreachable!(),
+    };
+    if good > rule.tolerance {
+        Verdict::Improved
+    } else if good < -rule.tolerance {
+        Verdict::Regressed
+    } else {
+        Verdict::Unchanged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(schema: u64, tps: f64, lat: f64, elapsed: f64) -> String {
+        format!(
+            concat!(
+                "{{\"schema\": {}, \"toolchain\": \"rustc 1.80.0\", ",
+                "\"key_schemas\": {{\"core\": 2, \"serve\": 3}}, ",
+                "\"serve\": {{\"siph\": {{\"sustained_tokens_per_s\": {}, ",
+                "\"mean_latency_ms\": {}}}}}, ",
+                "\"dse\": {{\"sweep_elapsed_s\": {}}}}}"
+            ),
+            schema, tps, lat, elapsed
+        )
+    }
+
+    #[test]
+    fn identical_snapshots_diff_clean() {
+        let s = snap(2, 1000.0, 5.0, 1.0);
+        let report = diff_snapshots(&s, &s, &default_rules()).expect("identical snapshots compare");
+        assert!(!report.has_regressions());
+        assert!(report.lines.iter().all(|l| l.verdict == Verdict::Unchanged));
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn simulated_regression_is_flagged_exactly() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let new = snap(2, 999.0, 5.0, 1.0);
+        let report = diff_snapshots(&old, &new, &default_rules()).expect("same schema compares");
+        assert!(report.has_regressions());
+        let line = report
+            .with_verdict(Verdict::Regressed)
+            .next()
+            .expect("regressed line present");
+        assert_eq!(line.path, "serve.siph.sustained_tokens_per_s");
+    }
+
+    #[test]
+    fn latency_increase_regresses_and_decrease_improves() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let worse = snap(2, 1000.0, 6.0, 1.0);
+        let better = snap(2, 1000.0, 4.0, 1.0);
+        assert!(diff_snapshots(&old, &worse, &default_rules())
+            .expect("compares")
+            .has_regressions());
+        let report = diff_snapshots(&old, &better, &default_rules()).expect("compares");
+        assert!(!report.has_regressions());
+        assert_eq!(report.with_verdict(Verdict::Improved).count(), 1);
+    }
+
+    #[test]
+    fn wall_clock_noise_stays_within_tolerance() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let noisy = snap(2, 1000.0, 5.0, 1.4);
+        let report = diff_snapshots(&old, &noisy, &default_rules()).expect("compares");
+        assert!(!report.has_regressions());
+        // But a 3x slowdown is flagged even for wall-clock keys.
+        let slow = snap(2, 1000.0, 5.0, 3.0);
+        assert!(diff_snapshots(&old, &slow, &default_rules())
+            .expect("compares")
+            .has_regressions());
+    }
+
+    #[test]
+    fn schema_mismatch_is_refused() {
+        let old = snap(1, 1000.0, 5.0, 1.0);
+        let new = snap(2, 1000.0, 5.0, 1.0);
+        let err = diff_snapshots(&old, &new, &default_rules())
+            .expect_err("cross-schema comparison must refuse");
+        assert!(matches!(err, DiffError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn key_schema_mismatch_is_refused() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let new = old.replace("\"serve\": 3", "\"serve\": 4");
+        let err =
+            diff_snapshots(&old, &new, &default_rules()).expect_err("key-schema drift must refuse");
+        assert!(matches!(err, DiffError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn toolchain_drift_warns_but_compares() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let new = old.replace("1.80.0", "1.81.0");
+        let report = diff_snapshots(&old, &new, &default_rules()).expect("compares");
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("toolchain changed"));
+    }
+
+    #[test]
+    fn missing_and_new_leaves_are_reported() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let new = old.replace("\"sweep_elapsed_s\": 1", "\"sweep_points\": 64");
+        let report = diff_snapshots(&old, &new, &default_rules()).expect("compares");
+        let missing: Vec<&str> = report
+            .with_verdict(Verdict::Missing)
+            .map(|l| l.path.as_str())
+            .collect();
+        assert_eq!(missing, ["dse.sweep_elapsed_s", "dse.sweep_points"]);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_counts_verdicts() {
+        let old = snap(2, 1000.0, 5.0, 1.0);
+        let new = snap(2, 900.0, 4.0, 1.0);
+        let report = diff_snapshots(&old, &new, &default_rules()).expect("compares");
+        let text = report.render();
+        assert_eq!(text, report.render());
+        assert!(text.contains("REGRESSED  serve.siph.sustained_tokens_per_s"));
+        assert!(text.contains("1 regressed, 1 improved"));
+    }
+}

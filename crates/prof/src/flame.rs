@@ -1,0 +1,115 @@
+//! Folded-stack flamegraph export.
+//!
+//! Spans collapse into `process;thread;cat;name weight` lines — the
+//! folded-stack format `inferno-flamegraph` and speedscope ingest
+//! directly. Weights are span durations in integer picoseconds, so the
+//! output is a pure function of the event list and byte-identical
+//! across same-seed reruns.
+
+use std::collections::BTreeMap;
+
+use lumos_trace::{EventKind, TraceEvent};
+
+/// Collapses span events into folded flamegraph stacks.
+///
+/// Each span contributes its duration (picoseconds) to the frame stack
+/// `process;thread;cat;name`, where process and thread use the names
+/// recorded via metadata events (falling back to `pid<N>` / `tid<N>`).
+/// Durations of identical stacks are summed; lines are emitted in
+/// lexicographic stack order, newline-terminated.
+///
+/// Render with e.g. `inferno-flamegraph < lumos.folded > flame.svg`,
+/// or import the file into speedscope.
+pub fn folded_stacks(events: &[TraceEvent]) -> String {
+    let mut process_names: BTreeMap<u32, &str> = BTreeMap::new();
+    let mut thread_names: BTreeMap<(u32, u32), &str> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::ProcessName => {
+                process_names.insert(e.pid, e.name.as_str());
+            }
+            EventKind::ThreadName => {
+                thread_names.insert((e.pid, e.tid), e.name.as_str());
+            }
+            _ => {}
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        let EventKind::Span { dur_ps } = e.kind else {
+            continue;
+        };
+        let process = process_names
+            .get(&e.pid)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("pid{}", e.pid));
+        let thread = thread_names
+            .get(&(e.pid, e.tid))
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("tid{}", e.tid));
+        let stack = format!(
+            "{};{};{};{}",
+            sanitize(&process),
+            sanitize(&thread),
+            sanitize(&e.cat),
+            sanitize(&e.name)
+        );
+        *stacks.entry(stack).or_insert(0) += dur_ps;
+    }
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// The folded format reserves `;` (frame separator) and ` ` (weight
+/// separator); replace them so arbitrary span names cannot corrupt the
+/// stack structure.
+fn sanitize(frame: &str) -> String {
+    frame.replace([';', ' '], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_trace::Tracer;
+
+    #[test]
+    fn empty_trace_folds_to_empty_string() {
+        assert_eq!(folded_stacks(&[]), "");
+    }
+
+    #[test]
+    fn identical_stacks_sum_and_sort_lexicographically() {
+        let t = Tracer::ring(64);
+        t.name_process(1, "siph");
+        t.name_thread(1, 1, "compute");
+        t.span(1, 1, "kernel:gemv", "fc1", 0, 100, Vec::new());
+        t.span(1, 1, "kernel:gemv", "fc1", 100, 150, Vec::new());
+        t.span(1, 2, "link:hbm", "fc1", 0, 400, Vec::new());
+        let folded = folded_stacks(&t.drain());
+        assert_eq!(
+            folded,
+            "siph;compute;kernel:gemv;fc1 250\nsiph;tid2;link:hbm;fc1 400\n"
+        );
+    }
+
+    #[test]
+    fn instants_and_counters_carry_no_weight() {
+        let t = Tracer::ring(64);
+        t.instant(1, 1, "request", "arrive", 0, Vec::new());
+        t.counter(1, "queued", 0, 3.0);
+        assert_eq!(folded_stacks(&t.drain()), "");
+    }
+
+    #[test]
+    fn reserved_characters_are_sanitized() {
+        let t = Tracer::ring(64);
+        t.span(1, 1, "a;b", "c d", 0, 10, Vec::new());
+        assert_eq!(folded_stacks(&t.drain()), "pid1;tid1;a_b;c_d 10\n");
+    }
+}

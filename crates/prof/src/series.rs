@@ -1,0 +1,140 @@
+//! Peak-window extraction over `lumos_metrics` snapshots.
+//!
+//! Answers "when did queue depth / batch occupancy / link utilisation
+//! spike, and how high": for every series in a
+//! [`MetricsSnapshot`] the window holding its maximum observed value,
+//! plus the series-wide totals, in deterministic name order.
+
+use lumos_metrics::{MetricKind, MetricsSnapshot};
+
+/// One series' peak window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peak {
+    /// Series name (with any `{label="value"}` suffix).
+    pub name: String,
+    /// Aggregation kind of the series.
+    pub kind: MetricKind,
+    /// Start of the peak window on the virtual clock, picoseconds.
+    pub window_start_ps: u64,
+    /// Effective window width of the series, picoseconds.
+    pub window_ps: u64,
+    /// The peak value: max sampled value for gauges/histograms, the
+    /// largest per-window increment for counters.
+    pub value: f64,
+    /// Samples recorded over the whole run.
+    pub total_count: u64,
+}
+
+/// Extracts the peak window of every non-empty series, sorted by
+/// series name (the snapshot's native order).
+///
+/// For gauge and histogram series the peak is the largest windowed
+/// `max`; for counters, whose `max` is a raw sample of the monotone
+/// total, the peak is the largest per-window *increment* — the
+/// busiest window, which is what a bottleneck hunt wants. Ties go to
+/// the earliest window.
+pub fn peaks(snapshot: &MetricsSnapshot) -> Vec<Peak> {
+    let mut out = Vec::new();
+    for s in &snapshot.series {
+        let mut best: Option<(u64, f64)> = None;
+        for w in &s.windows {
+            let value = match s.kind {
+                MetricKind::Counter => w.sum,
+                _ => w.max,
+            };
+            let better = match best {
+                None => true,
+                Some((_, v)) => value > v,
+            };
+            if better {
+                best = Some((w.start_ps, value));
+            }
+        }
+        if let Some((window_start_ps, value)) = best {
+            out.push(Peak {
+                name: s.name.clone(),
+                kind: s.kind,
+                window_start_ps,
+                window_ps: s.window_ps,
+                value,
+                total_count: s.total_count,
+            });
+        }
+    }
+    out
+}
+
+/// Renders peaks as deterministic text, one line per series.
+pub fn export(peaks: &[Peak]) -> String {
+    let mut out = String::new();
+    for p in peaks {
+        out.push_str(&format!(
+            "{} [{}] peak={} at={} window={} samples={}\n",
+            p.name,
+            p.kind.as_str(),
+            fmt(p.value),
+            us(p.window_start_ps),
+            us(p.window_ps),
+            p.total_count
+        ));
+    }
+    out
+}
+
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Fixed-point value rendering (3 fractional digits, integer math).
+fn fmt(x: f64) -> String {
+    let milli = (x * 1e3).round() as i64;
+    format!("{}.{:03}", milli / 1000, (milli % 1000).unsigned_abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_metrics::MetricsRegistry;
+
+    #[test]
+    fn gauge_peak_is_the_window_max() {
+        let reg = MetricsRegistry::windowed(1_000_000, 64);
+        let g = reg.gauge("queued");
+        reg.set(g, 200_000, 3.0);
+        reg.set(g, 2_200_000, 9.0);
+        reg.set(g, 2_800_000, 5.0);
+        reg.set(g, 4_100_000, 1.0);
+        let peaks = peaks(&reg.snapshot());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].name, "queued");
+        assert_eq!(peaks[0].value, 9.0);
+        assert_eq!(peaks[0].window_start_ps, 2_000_000);
+    }
+
+    #[test]
+    fn counter_peak_is_the_busiest_window_increment() {
+        let reg = MetricsRegistry::windowed(1_000_000, 64);
+        let c = reg.counter("tokens");
+        reg.add(c, 100_000, 2.0);
+        reg.add(c, 1_100_000, 10.0);
+        reg.add(c, 1_200_000, 10.0);
+        reg.add(c, 3_000_000, 5.0);
+        let peaks = peaks(&reg.snapshot());
+        assert_eq!(peaks[0].value, 20.0);
+        assert_eq!(peaks[0].window_start_ps, 1_000_000);
+    }
+
+    #[test]
+    fn empty_series_are_skipped_and_export_is_stable() {
+        let reg = MetricsRegistry::windowed(1_000_000, 64);
+        let _silent = reg.gauge("never-sampled");
+        let g = reg.gauge("busy");
+        reg.set(g, 0, 2.5);
+        let ps = peaks(&reg.snapshot());
+        assert_eq!(ps.len(), 1);
+        assert_eq!(
+            export(&ps),
+            "busy [gauge] peak=2.500 at=0.000000 window=1.000000 samples=1\n"
+        );
+    }
+}

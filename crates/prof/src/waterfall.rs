@@ -1,0 +1,387 @@
+//! Per-request latency waterfalls over a `lumos_serve` trace.
+//!
+//! A serving trace records each request's life as id-tagged events:
+//! an `arrive` instant and a `queued` span on its model's queue lane,
+//! then `admit`, the executed `prefill`/`decode`/`execute` stage
+//! spans, `await-batch` parks, and a `complete` instant on its
+//! residency-slot lane. Continuous batching additionally runs shared
+//! `decode-tick` spans on the batch anchor's lane that carry *no*
+//! request id — so a member request's decode time appears here as one
+//! `batched-decode` tail phase spanning from its last id-tagged event
+//! to its completion.
+//!
+//! Feeding in the platform's isolated (contention-1) stage tables via
+//! [`IsolatedStages`] breaks processor-sharing dilation out of every
+//! phase: `dilation_ps` is the observed time minus what the same
+//! stage(s) would have taken running alone.
+
+use std::collections::BTreeMap;
+
+use lumos_trace::{ArgValue, EventKind, TraceEvent};
+
+/// Isolated (contention-1) stage service times, per model.
+///
+/// Stage `s` (0-based, matching the `stage` arg on serve trace spans:
+/// stage 0 is the single pass or prefill, stages `1..` the decode
+/// steps) of model `m` maps to its service time in picoseconds when
+/// running alone on the platform — `lumos_serve`'s profile tables at
+/// concurrency 1 supply exactly this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IsolatedStages {
+    models: BTreeMap<String, Vec<u64>>,
+}
+
+impl IsolatedStages {
+    /// An empty table: all dilations report as zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model's per-stage isolated times (index 0 holds
+    /// stage 0, the prefill / single pass).
+    pub fn insert(&mut self, model: &str, stage_ps: Vec<u64>) {
+        self.models.insert(model.to_owned(), stage_ps);
+    }
+
+    /// The isolated time of `stage` (0-based) of `model`, picoseconds.
+    pub fn stage(&self, model: &str, stage: usize) -> Option<u64> {
+        self.models
+            .get(model)
+            .and_then(|stages| stages.get(stage))
+            .copied()
+    }
+
+    /// The summed isolated time of every stage *after* `last_stage` —
+    /// the floor for a batched-decode tail that starts once stage
+    /// `last_stage` has executed individually.
+    pub fn tail(&self, model: &str, last_stage: usize) -> Option<u64> {
+        self.models
+            .get(model)
+            .map(|stages| stages.iter().skip(last_stage + 1).sum())
+    }
+}
+
+/// One phase of a request's waterfall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase label: `queued`, `prefill`, `decode[s]`, `execute`, or
+    /// `batched-decode`.
+    pub label: String,
+    /// Phase start on the virtual clock, picoseconds.
+    pub start_ps: u64,
+    /// Observed phase duration, picoseconds.
+    pub dur_ps: u64,
+    /// Contention dilation: observed minus isolated duration
+    /// (zero when no isolated table covers this phase).
+    pub dilation_ps: u64,
+}
+
+/// One request's latency waterfall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestWaterfall {
+    /// Request id (the `id` trace arg).
+    pub id: u64,
+    /// Served model name.
+    pub model: String,
+    /// Arrival timestamp, picoseconds.
+    pub arrival_ps: u64,
+    /// Admission timestamp, when the request was admitted.
+    pub admitted_ps: Option<u64>,
+    /// Completion timestamp, when the request completed.
+    pub complete_ps: Option<u64>,
+    /// Ordered phases from arrival to completion.
+    pub phases: Vec<Phase>,
+}
+
+impl RequestWaterfall {
+    /// End-to-end latency (completion minus arrival), picoseconds.
+    pub fn latency_ps(&self) -> Option<u64> {
+        self.complete_ps.map(|c| c.saturating_sub(self.arrival_ps))
+    }
+
+    /// Total contention dilation across all phases, picoseconds.
+    pub fn dilation_ps(&self) -> u64 {
+        self.phases.iter().map(|p| p.dilation_ps).sum()
+    }
+}
+
+fn arg_u64(e: &TraceEvent, key: &str) -> Option<u64> {
+    e.args.iter().find_map(|(k, v)| match v {
+        ArgValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+#[derive(Default)]
+struct Acc {
+    model: Option<String>,
+    arrival_ps: Option<u64>,
+    admitted_ps: Option<u64>,
+    complete_ps: Option<u64>,
+    queued: Option<(u64, u64)>,
+    /// (ts, stage, cat, name, dur)
+    stages: Vec<(u64, u64, String, String, u64)>,
+    /// Last id-tagged activity (span end or instant), picoseconds.
+    last_seen_ps: u64,
+}
+
+/// Extracts one waterfall per request id from a serve trace.
+///
+/// Requests are returned sorted by `(arrival_ps, id)`; phases within a
+/// request are ordered by start time. `isolated` supplies the
+/// contention-1 stage times used to break out dilation — pass
+/// [`IsolatedStages::new`] to skip dilation attribution.
+pub fn waterfalls(events: &[TraceEvent], isolated: &IsolatedStages) -> Vec<RequestWaterfall> {
+    let mut accs: BTreeMap<u64, Acc> = BTreeMap::new();
+    for e in events {
+        let Some(id) = arg_u64(e, "id") else {
+            continue;
+        };
+        let acc = accs.entry(id).or_default();
+        match e.kind {
+            EventKind::Instant if e.cat == "request" => {
+                match e.name.as_str() {
+                    "arrive" => acc.arrival_ps = Some(e.ts_ps),
+                    "admit" => acc.admitted_ps = Some(e.ts_ps),
+                    "complete" => acc.complete_ps = Some(e.ts_ps),
+                    _ => {}
+                }
+                acc.last_seen_ps = acc.last_seen_ps.max(e.ts_ps);
+            }
+            EventKind::Span { dur_ps } if e.cat == "queue" => {
+                acc.queued = Some((e.ts_ps, dur_ps));
+                acc.last_seen_ps = acc.last_seen_ps.max(e.ts_ps + dur_ps);
+            }
+            EventKind::Span { dur_ps } => {
+                let stage = arg_u64(e, "stage").unwrap_or(0);
+                acc.model.get_or_insert_with(|| e.name.clone());
+                acc.stages
+                    .push((e.ts_ps, stage, e.cat.clone(), e.name.clone(), dur_ps));
+                acc.last_seen_ps = acc.last_seen_ps.max(e.ts_ps + dur_ps);
+            }
+            _ => {}
+        }
+    }
+
+    // Queue lanes are thread-named "queue:<model>"; use them to name
+    // requests that completed without any id-tagged stage span
+    // (continuous-batching members admitted straight into a batch).
+    let mut queue_models: BTreeMap<(u32, u32), &str> = BTreeMap::new();
+    for e in events {
+        if matches!(e.kind, EventKind::ThreadName) {
+            if let Some(model) = e.name.strip_prefix("queue:") {
+                queue_models.insert((e.pid, e.tid), model);
+            }
+        }
+    }
+    for e in events {
+        if matches!(e.kind, EventKind::Instant) && e.cat == "request" && e.name == "arrive" {
+            if let (Some(id), Some(model)) = (arg_u64(e, "id"), queue_models.get(&(e.pid, e.tid))) {
+                if let Some(acc) = accs.get_mut(&id) {
+                    acc.model.get_or_insert_with(|| (*model).to_owned());
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<RequestWaterfall> = accs
+        .into_iter()
+        .map(|(id, mut acc)| {
+            let model = acc.model.take().unwrap_or_default();
+            let mut phases = Vec::new();
+            if let Some((ts, dur)) = acc.queued {
+                phases.push(Phase {
+                    label: "queued".to_owned(),
+                    start_ps: ts,
+                    dur_ps: dur,
+                    dilation_ps: 0,
+                });
+            }
+            acc.stages.sort();
+            let mut max_stage = 0usize;
+            for (ts, stage, cat, _name, dur) in &acc.stages {
+                max_stage = max_stage.max(*stage as usize);
+                let label = match cat.as_str() {
+                    "prefill" | "execute" => cat.clone(),
+                    _ => format!("{cat}[{stage}]"),
+                };
+                let iso = isolated.stage(&model, *stage as usize).unwrap_or(*dur);
+                phases.push(Phase {
+                    label,
+                    start_ps: *ts,
+                    dur_ps: *dur,
+                    dilation_ps: dur.saturating_sub(iso),
+                });
+            }
+            // Batched decode runs on the group anchor's lane without an
+            // id, so a member's share shows up as the gap between its
+            // last id-tagged event and its completion.
+            if let Some(complete) = acc.complete_ps {
+                let tail_start = acc
+                    .stages
+                    .iter()
+                    .map(|(ts, _, _, _, dur)| ts + dur)
+                    .chain(acc.admitted_ps)
+                    .max()
+                    .unwrap_or(acc.arrival_ps.unwrap_or(0));
+                if complete > tail_start {
+                    let dur = complete - tail_start;
+                    let iso = isolated.tail(&model, max_stage).unwrap_or(dur);
+                    phases.push(Phase {
+                        label: "batched-decode".to_owned(),
+                        start_ps: tail_start,
+                        dur_ps: dur,
+                        dilation_ps: dur.saturating_sub(iso.min(dur)),
+                    });
+                }
+            }
+            phases.sort_by(|a, b| (a.start_ps, &a.label).cmp(&(b.start_ps, &b.label)));
+            RequestWaterfall {
+                id,
+                model,
+                arrival_ps: acc.arrival_ps.unwrap_or(0),
+                admitted_ps: acc.admitted_ps,
+                complete_ps: acc.complete_ps,
+                phases,
+            }
+        })
+        .collect();
+    out.sort_by_key(|w| (w.arrival_ps, w.id));
+    out
+}
+
+/// Renders waterfalls as deterministic text, one request block per
+/// completed (or in-flight) request.
+pub fn export(waterfalls: &[RequestWaterfall]) -> String {
+    let mut out = String::new();
+    for w in waterfalls {
+        out.push_str(&format!(
+            "request {} model={} arrival={} latency={} dilation={}\n",
+            w.id,
+            w.model,
+            us(w.arrival_ps),
+            w.latency_ps().map(us).unwrap_or_else(|| "-".to_owned()),
+            us(w.dilation_ps()),
+        ));
+        for p in &w.phases {
+            out.push_str(&format!(
+                "  {:<16} start={} dur={} dilation={}\n",
+                p.label,
+                us(p.start_ps),
+                us(p.dur_ps),
+                us(p.dilation_ps)
+            ));
+        }
+    }
+    out
+}
+
+/// Picoseconds rendered as microseconds with six fractional digits,
+/// via integer math.
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_trace::Tracer;
+
+    fn id_arg(id: u64) -> Vec<(&'static str, ArgValue)> {
+        vec![("id", ArgValue::U64(id))]
+    }
+
+    fn stage_args(id: u64, stage: u64) -> Vec<(&'static str, ArgValue)> {
+        vec![("id", ArgValue::U64(id)), ("stage", ArgValue::U64(stage))]
+    }
+
+    /// One request through queue → prefill → two decode stages.
+    fn batch_mode_trace() -> Vec<TraceEvent> {
+        let t = Tracer::ring(64);
+        t.instant(1, 4, "request", "arrive", 0, id_arg(7));
+        t.span(1, 4, "queue", "queued", 0, 100, id_arg(7));
+        t.instant(1, 1, "request", "admit", 100, id_arg(7));
+        t.span(1, 1, "prefill", "gpt2", 100, 400, stage_args(7, 0));
+        t.span(1, 1, "decode", "gpt2", 500, 250, stage_args(7, 1));
+        t.span(1, 1, "decode", "gpt2", 750, 250, stage_args(7, 2));
+        t.instant(1, 1, "request", "complete", 1000, id_arg(7));
+        t.drain()
+    }
+
+    #[test]
+    fn batch_mode_request_has_explicit_stage_phases() {
+        let wfs = waterfalls(&batch_mode_trace(), &IsolatedStages::new());
+        assert_eq!(wfs.len(), 1);
+        let w = &wfs[0];
+        assert_eq!((w.id, w.model.as_str()), (7, "gpt2"));
+        assert_eq!(w.latency_ps(), Some(1000));
+        let labels: Vec<&str> = w.phases.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["queued", "prefill", "decode[1]", "decode[2]"]);
+        // Every stage end abuts completion: no batched-decode tail.
+        assert_eq!(w.dilation_ps(), 0);
+    }
+
+    #[test]
+    fn isolated_table_breaks_out_dilation() {
+        let mut iso = IsolatedStages::new();
+        // Isolated: prefill 300, decode stages 200 each.
+        iso.insert("gpt2", vec![300, 200, 200]);
+        let wfs = waterfalls(&batch_mode_trace(), &iso);
+        let w = &wfs[0];
+        assert_eq!(w.phases[1].dilation_ps, 100); // prefill 400 vs 300
+        assert_eq!(w.phases[2].dilation_ps, 50); // decode 250 vs 200
+        assert_eq!(w.dilation_ps(), 200);
+    }
+
+    #[test]
+    fn continuous_mode_member_gets_batched_decode_tail() {
+        let t = Tracer::ring(64);
+        t.name_thread(1, 4, "queue:gpt2");
+        t.instant(1, 4, "request", "arrive", 0, id_arg(3));
+        t.span(1, 4, "queue", "queued", 0, 50, id_arg(3));
+        t.instant(1, 2, "request", "admit", 50, id_arg(3));
+        t.span(1, 2, "prefill", "gpt2", 50, 400, stage_args(3, 0));
+        t.instant(1, 2, "request", "await-batch", 450, id_arg(3));
+        // Anchor decode ticks carry no id; the member only sees its
+        // completion.
+        t.span(
+            1,
+            1,
+            "decode-tick",
+            "gpt2",
+            450,
+            500,
+            vec![("occupancy", ArgValue::U64(2)), ("stage", ArgValue::U64(2))],
+        );
+        t.instant(1, 2, "request", "complete", 950, id_arg(3));
+        let mut iso = IsolatedStages::new();
+        iso.insert("gpt2", vec![400, 300]);
+        let wfs = waterfalls(&t.drain(), &iso);
+        assert_eq!(wfs.len(), 1);
+        let w = &wfs[0];
+        let tail = w.phases.last().expect("tail phase present");
+        assert_eq!(tail.label, "batched-decode");
+        assert_eq!((tail.start_ps, tail.dur_ps), (450, 500));
+        // Isolated tail after stage 1 is 300 ps → 200 ps dilation.
+        assert_eq!(tail.dilation_ps, 200);
+    }
+
+    #[test]
+    fn requests_sort_by_arrival_then_id() {
+        let t = Tracer::ring(64);
+        t.instant(1, 4, "request", "arrive", 500, id_arg(2));
+        t.instant(1, 4, "request", "arrive", 100, id_arg(9));
+        let wfs = waterfalls(&t.drain(), &IsolatedStages::new());
+        let ids: Vec<u64> = wfs.iter().map(|w| w.id).collect();
+        assert_eq!(ids, [9, 2]);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_integer_rendered() {
+        let wfs = waterfalls(&batch_mode_trace(), &IsolatedStages::new());
+        let a = export(&wfs);
+        let b = export(&waterfalls(&batch_mode_trace(), &IsolatedStages::new()));
+        assert_eq!(a, b);
+        assert!(a.starts_with("request 7 model=gpt2 arrival=0.000000 latency=0.001000"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Cross-crate properties of the profiling layer: profiling is
+//! bitwise-invisible to every simulation it observes, its exports are
+//! deterministic, and roofline attribution agrees with the analytic
+//! compute-vs-traffic ratio wherever that ratio is decisive.
+
+use lumos_core::{dse, Platform, PlatformConfig, Runner};
+use lumos_dnn::workload::Precision;
+use lumos_prof::{
+    critical_path, folded_stacks, request_paths, waterfalls, Bound, Ceilings, Roofline,
+};
+use lumos_serve::{
+    build_profiles, simulate, simulate_traced, BatchPolicy, ServeConfig, ServedModel,
+};
+use lumos_trace::{ps_from_secs, TraceConfig, Tracer};
+use proptest::prelude::*;
+
+/// The continuous-batching serving scenario the profiling example
+/// pins, parameterized by seed and load.
+fn serve_config(seed: u64, rate: f64) -> ServeConfig {
+    let mix = vec![ServedModel::generator(
+        &lumos_xformer::zoo::gpt2_small(),
+        32,
+        6,
+        1,
+        Precision::int8(),
+        rate,
+        1_000.0,
+    )];
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+        .with_duration_s(0.05)
+        .with_seed(seed)
+        .with_max_concurrency(4)
+        .with_batching(BatchPolicy::continuous(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing + profiling a serve run leaves the report bitwise
+    /// untouched, and every prof export is a pure function of the
+    /// seed.
+    #[test]
+    fn profiling_is_invisible_and_deterministic(seed in 1u64..500, rate in 100f64..600.0) {
+        let traced_cfg = serve_config(seed, rate).with_trace(TraceConfig::ring(1 << 14));
+        let (report, events) = simulate_traced(&traced_cfg).expect("scenario simulates");
+        let plain = simulate(&serve_config(seed, rate)).expect("scenario simulates");
+        prop_assert_eq!(&report, &plain);
+
+        let (report2, events2) = simulate_traced(&traced_cfg).expect("rerun simulates");
+        prop_assert_eq!(&report, &report2);
+        prop_assert_eq!(critical_path(&events).export(), critical_path(&events2).export());
+        prop_assert_eq!(folded_stacks(&events), folded_stacks(&events2));
+        let iso = lumos_prof::waterfall::IsolatedStages::new();
+        prop_assert_eq!(
+            lumos_prof::waterfall::export(&waterfalls(&events, &iso)),
+            lumos_prof::waterfall::export(&waterfalls(&events2, &iso))
+        );
+    }
+
+    /// Attaching a tracer to the runner leaves RunReport (and thus
+    /// every DsePoint built from it) bitwise untouched.
+    #[test]
+    fn runner_tracing_is_invisible(ci in 0usize..4) {
+        let models = [
+            lumos_dnn::zoo::lenet5(),
+            lumos_dnn::zoo::mobilenet_v2(),
+            lumos_dnn::zoo::vgg16(),
+            lumos_dnn::zoo::resnet50(),
+        ];
+        let model = &models[ci];
+        let cfg = PlatformConfig::paper_table1();
+        for platform in Platform::all() {
+            let plain = Runner::new(cfg.clone())
+                .run(&platform, model)
+                .expect("zoo model runs");
+            let tracer = Tracer::ring(1 << 14);
+            let traced = Runner::new(cfg.clone())
+                .with_tracer(tracer.clone())
+                .run(&platform, model)
+                .expect("traced zoo model runs");
+            prop_assert_eq!(&plain, &traced);
+            // DSE metrics (the DsePoint payload) are bit-stable across
+            // re-evaluations regardless of tracing.
+            let metrics = dse::evaluate(&cfg, &platform, model);
+            prop_assert!(metrics.bit_eq(&dse::evaluate(&cfg, &platform, model)));
+        }
+    }
+}
+
+/// On a zero-contention single run, the observed per-op bound agrees
+/// with the analytic compute-vs-traffic classification wherever the
+/// ratio is decisive (≥ 2x away from the ridge point).
+///
+/// Pinned on the photonic platform: its SWMR broadcast delivers each
+/// stream once, so traffic equals the workload's `total_bits` and the
+/// analytic ratio is faithful. (The electrical mesh replicates
+/// broadcasts per destination chiplet, moving more than `total_bits` —
+/// ops there can fall below their analytic bound, which is the paper's
+/// point, not a profiler bug.)
+#[test]
+fn roofline_agrees_with_analytic_ratio_when_decisive() {
+    let cfg = PlatformConfig::paper_table1();
+    let platform = Platform::Siph2p5D;
+    let tracer = Tracer::ring(1 << 14);
+    Runner::new(cfg.clone())
+        .with_tracer(tracer.clone())
+        .run(&platform, &lumos_dnn::zoo::resnet50())
+        .expect("resnet50 runs");
+    let ceilings = Ceilings::of(&cfg, platform);
+    let roof = Roofline::from_runner_trace(&tracer.drain(), ceilings);
+    assert!(!roof.ops.is_empty(), "trace must yield op profiles");
+    let mut decisive = 0;
+    for op in &roof.ops {
+        let ai = op.macs_per_byte();
+        let ridge = roof.ceilings.ridge_macs_per_byte(op.class);
+        if ai < ridge * 2.0 && ai > ridge * 0.5 {
+            continue; // near the ridge: overlap decides, not the ratio
+        }
+        decisive += 1;
+        let analytic = roof.ceilings.analytic_bound(op.class, ai);
+        if analytic == Bound::Compute {
+            assert_eq!(
+                op.bound,
+                Bound::Compute,
+                "{}: ai {ai:.1} vs ridge {ridge:.1}",
+                op.name
+            );
+        } else {
+            assert_ne!(
+                op.bound,
+                Bound::Compute,
+                "{}: ai {ai:.1} vs ridge {ridge:.1}",
+                op.name
+            );
+        }
+    }
+    assert!(decisive > 10, "resnet50 must have decisively-bound ops");
+}
+
+/// The serving critical path is decode-dominated — the trace-level
+/// form of the paper's bandwidth-wall argument — and per-request paths
+/// cover exactly the requests the waterfalls see.
+#[test]
+fn serve_critical_path_is_decode_dominated() {
+    let cfg = serve_config(7, 500.0).with_trace(TraceConfig::ring(1 << 14));
+    let (report, events) = simulate_traced(&cfg).expect("scenario simulates");
+    assert!(report.total_served > 0, "scenario must serve requests");
+    let path = critical_path(&events);
+    assert!(path.total_ps > 0);
+    let decode_ps: u64 = path
+        .cat_totals()
+        .iter()
+        .filter(|(c, _)| c == "decode-tick" || c == "decode")
+        .map(|(_, ps)| *ps)
+        .sum();
+    assert!(
+        decode_ps * 2 > path.total_ps,
+        "decode holds {decode_ps} of {} ps",
+        path.total_ps
+    );
+
+    let per_request = request_paths(&events);
+    let iso = lumos_prof::waterfall::IsolatedStages::new();
+    let wfs = waterfalls(&events, &iso);
+    assert_eq!(per_request.len(), wfs.len());
+    for (id, p) in &per_request {
+        let w = wfs
+            .iter()
+            .find(|w| w.id == *id)
+            .expect("every path id has a waterfall");
+        if let Some(latency) = w.latency_ps() {
+            assert!(
+                p.total_ps <= latency,
+                "request {id}: path {} exceeds latency {latency}",
+                p.total_ps
+            );
+        }
+    }
+}
+
+/// Waterfall dilation is measured against the isolated stage tables:
+/// a request that ran alone shows (near-)zero dilation, and every
+/// phase's dilation is bounded by its duration.
+#[test]
+fn waterfall_dilation_is_bounded_and_isolated_runs_show_none() {
+    // One request every ~50 ms against a few-ms service time: requests
+    // never overlap, so nothing dilates.
+    let cfg = serve_config(11, 20.0)
+        .with_duration_s(0.3)
+        .with_trace(TraceConfig::ring(1 << 14));
+    let (_, events) = simulate_traced(&cfg).expect("scenario simulates");
+    let profiles = build_profiles(&cfg).expect("profiles build");
+    let mut iso = lumos_prof::waterfall::IsolatedStages::new();
+    for p in &profiles.models {
+        let stage_ps: Vec<u64> = (0..p.n_stages())
+            .map(|s| ps_from_secs(p.stage_service(s, 1)))
+            .collect();
+        iso.insert(&p.name, stage_ps);
+    }
+    let wfs = waterfalls(&events, &iso);
+    assert!(!wfs.is_empty());
+    for w in &wfs {
+        for phase in &w.phases {
+            assert!(
+                phase.dilation_ps <= phase.dur_ps,
+                "request {}: phase {} dilation exceeds duration",
+                w.id,
+                phase.label
+            );
+        }
+        // Zero contention: dilation is at most rounding slack (1 ps
+        // per phase boundary).
+        assert!(
+            w.dilation_ps() <= w.phases.len() as u64,
+            "request {} dilated by {} ps with no contention",
+            w.id,
+            w.dilation_ps()
+        );
+    }
+}

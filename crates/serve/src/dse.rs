@@ -34,7 +34,11 @@ use crate::sim::{simulate, simulate_with_profiles};
 /// invalidated wholesale. (v2: generator stages + processor-sharing
 /// discipline entered the key set; v3: the continuous-batching policy
 /// and each model's re-lowerable generator recipe entered it.)
-const SERVE_KEY_SCHEMA: u64 = 3;
+///
+/// Public so `lumos-bench` can stamp snapshot headers with the key
+/// schemas its numbers were produced under — the `--diff` gate refuses
+/// cross-schema comparisons.
+pub const SERVE_KEY_SCHEMA: u64 = 3;
 
 /// Stable fingerprint of a model mix: every model's name, lowered
 /// workload stream, decode-step streams, generator recipe (when one is

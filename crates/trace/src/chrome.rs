@@ -221,6 +221,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_exports_a_valid_document() {
+        let json = export_chrome_trace(&[]);
+        assert_eq!(json, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n");
+    }
+
+    #[test]
+    fn single_event_trace_has_no_trailing_comma() {
+        let events = vec![TraceEvent {
+            name: "solo".into(),
+            cat: "kernel:gemv".into(),
+            pid: 1,
+            tid: 0,
+            ts_ps: 0,
+            kind: EventKind::Span { dur_ps: 10 },
+            args: Vec::new(),
+        }];
+        let json = export_chrome_trace(&events);
+        // Exactly one event line, comma-free: "...}\n]".
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert!(
+            json.contains("}\n],"),
+            "single event must not end with a comma"
+        );
+        assert!(
+            !json.contains("},\n]"),
+            "no trailing comma before the closing bracket"
+        );
+    }
+
+    #[test]
+    fn ring_overflow_exports_only_the_retained_tail() {
+        use crate::tracer::Tracer;
+        // Capacity 4, 10 instants: the ring keeps the newest 4 and the
+        // export reflects exactly those, oldest first.
+        let t = Tracer::ring(4);
+        for i in 0..10u64 {
+            t.instant(1, 0, "request", &format!("e{i}"), i, Vec::new());
+        }
+        assert_eq!(t.dropped(), 6);
+        let events = t.drain();
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["e6", "e7", "e8", "e9"]
+        );
+        let json = export_chrome_trace(&events);
+        assert!(!json.contains("\"e5\""), "dropped events must not export");
+        assert!(json.contains("\"e6\"") && json.contains("\"e9\""));
+    }
+
+    #[test]
     fn export_is_a_pure_function_of_events() {
         let e = TraceEvent {
             name: "n".into(),

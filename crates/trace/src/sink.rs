@@ -47,6 +47,19 @@ impl Sink for NullSink {
 /// A bounded in-memory ring: keeps the most recent `capacity` events,
 /// dropping the oldest (and counting the drops) once full — memory
 /// stays bounded no matter how long a saturating serve run emits.
+///
+/// # Drop semantics
+///
+/// Drops are **oldest-first and silent at record time**: the
+/// `capacity + 1`-th record evicts the oldest retained event, and
+/// [`dropped`](Sink::dropped) counts every eviction (a zero-capacity
+/// ring counts every record as a drop). Eviction is deterministic —
+/// same event sequence, same retained suffix — so a truncated trace is
+/// still byte-identical across same-seed reruns. Consumers that need
+/// the *whole* run (the Chrome exporter, `lumos_prof`'s critical paths
+/// and waterfalls) should check `dropped() == 0` or size the ring
+/// generously: a drained tail can start mid-request, with arrival
+/// instants and queue spans already evicted while later spans survive.
 #[derive(Debug, Default)]
 pub struct RingSink {
     capacity: usize,
@@ -145,5 +158,24 @@ mod tests {
         s.record(ev(1));
         assert_eq!(s.len(), 0);
         assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn ring_drops_start_exactly_at_the_capacity_boundary() {
+        let mut s = RingSink::with_capacity(3);
+        for i in 0..3 {
+            s.record(ev(i));
+        }
+        // Exactly full: nothing dropped yet.
+        assert_eq!((s.len(), s.dropped()), (3, 0));
+        // The capacity+1-th record evicts exactly the oldest event.
+        s.record(ev(3));
+        assert_eq!((s.len(), s.dropped()), (3, 1));
+        assert_eq!(
+            s.drain().iter().map(|e| e.ts_ps).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Draining resets retention but not the drop count.
+        assert_eq!((s.len(), s.dropped()), (0, 1));
     }
 }

@@ -1,0 +1,198 @@
+//! Profiling a run: critical paths, waterfalls, rooflines, and
+//! flamegraphs from deterministic traces.
+//!
+//! Three profiled scenarios, all exported as deterministic text under
+//! `target/prof/`:
+//!
+//! 1. A GPT-2-small continuous-batching serve run on the 2.5D photonic
+//!    platform: the run-wide **critical path** (which the paper's
+//!    bandwidth-wall argument predicts is dominated by decode), the
+//!    per-request **latency waterfalls** with contention dilation
+//!    broken out against the isolated stage tables, and a folded-stack
+//!    **flamegraph**.
+//! 2. The same run metered instead of traced: **peak windows** of every
+//!    metric series (when did the queue spike, when was the batch
+//!    full).
+//! 3. A single ResNet-50 inference through the runner: per-op
+//!    **roofline attribution** (arithmetic intensity against the
+//!    platform's compute and bandwidth ceilings) plus the run's
+//!    critical path through kernel and link spans.
+//!
+//! Profiling is post-hoc analysis over already-recorded events: the
+//! profiled reports are asserted bitwise-identical to unprofiled
+//! baselines, and every export is byte-identical across same-seed
+//! reruns (CI runs this example twice and `cmp`s the files).
+//!
+//! ```text
+//! cargo run --release --example profiling
+//! inferno-flamegraph < target/prof/serve_flamegraph.folded > flame.svg
+//! ```
+
+use lumos::dnn::workload::Precision;
+use lumos::prelude::*;
+use lumos::prof::{flame, series, waterfall};
+use lumos::serve::build_profiles;
+use lumos::trace::ps_from_secs;
+
+const SEED: u64 = 2026;
+const MAX_CONCURRENCY: usize = 8;
+const MAX_BATCH: usize = 4;
+const PROMPT_LEN: u32 = 32;
+const N_TOKENS: u32 = 8;
+const WINDOW_PS: u64 = 1_000_000_000; // 1 ms metric windows
+
+/// The profiled serving scenario: one saturating GPT-2-small generator
+/// stream under continuous batching (the `tracing` example's scenario).
+fn serve_config() -> ServeConfig {
+    let mix = vec![ServedModel::generator(
+        &xformer_zoo::gpt2_small(),
+        PROMPT_LEN,
+        N_TOKENS,
+        1,
+        Precision::int8(),
+        400.0,
+        1_000.0,
+    )];
+    ServeConfig::new(PlatformConfig::paper_table1(), Platform::Siph2p5D, mix)
+        .with_duration_s(0.1)
+        .with_seed(SEED)
+        .with_max_concurrency(MAX_CONCURRENCY)
+        .with_batching(BatchPolicy::continuous(MAX_BATCH))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/prof");
+    std::fs::create_dir_all(out_dir)?;
+
+    // --- 1. Serve trace -> critical path, waterfalls, flamegraph.
+    let cfg = serve_config().with_trace(TraceConfig::ring(1 << 16));
+    let (report, events) = simulate_traced(&cfg)?;
+    println!(
+        "profiling serve: GPT-2-small generators (prompt {PROMPT_LEN}, {N_TOKENS} tokens/request),\n\
+         continuous batching (max_batch {MAX_BATCH}), 0.1 s at 400 rps on 2.5D-SiPh, seed {SEED}:\n\
+         {} of {} requests served, {} trace events",
+        report.total_served,
+        report.total_arrived,
+        events.len()
+    );
+
+    // Profiling is read-only: the traced report is bitwise-identical
+    // to the untraced baseline.
+    let untraced = simulate(&serve_config())?;
+    assert_eq!(report, untraced, "profiling must not perturb the report");
+
+    let path = critical_path(&events);
+    println!(
+        "critical path: {} ps over {} spans, by category:",
+        path.total_ps, path.span_count
+    );
+    for (cat, ps) in path.cat_totals() {
+        println!("  {cat:<14} {:.3} ms", ps as f64 * 1e-9);
+    }
+    // The bandwidth-wall argument in trace form: token generation —
+    // the decode ticks — dominates the serving critical path.
+    let decode_ps: u64 = path
+        .cat_totals()
+        .iter()
+        .filter(|(c, _)| c == "decode-tick" || c == "decode")
+        .map(|(_, ps)| *ps)
+        .sum();
+    assert!(
+        decode_ps * 2 > path.total_ps,
+        "decode must dominate the serving critical path"
+    );
+
+    // Waterfalls, with contention dilation measured against the
+    // platform's isolated (contention-1) stage tables.
+    let profiles = build_profiles(&cfg)?;
+    let mut isolated = waterfall::IsolatedStages::new();
+    for p in &profiles.models {
+        let stage_ps: Vec<u64> = (0..p.n_stages())
+            .map(|s| ps_from_secs(p.stage_service(s, 1)))
+            .collect();
+        isolated.insert(&p.name, stage_ps);
+    }
+    let wfs = waterfalls(&events, &isolated);
+    let completed = wfs.iter().filter(|w| w.complete_ps.is_some()).count();
+    let dilated = wfs.iter().filter(|w| w.dilation_ps() > 0).count();
+    println!(
+        "waterfalls: {} requests ({completed} completed), {dilated} saw contention dilation",
+        wfs.len()
+    );
+
+    let serve_exports = [
+        ("serve_critical_path.txt", path.export()),
+        ("serve_waterfalls.txt", waterfall::export(&wfs)),
+        ("serve_flamegraph.folded", folded_stacks(&events)),
+    ];
+
+    // --- 2. Metered rerun -> peak windows of every series.
+    let metered_cfg = serve_config().with_metrics(MetricsConfig::windowed(WINDOW_PS, 256));
+    let (metered_report, snap) = simulate_metered(&metered_cfg)?;
+    assert_eq!(
+        report, metered_report,
+        "metering must not perturb the report"
+    );
+    let peaks = series::peaks(&snap);
+    println!("metric peaks: {} series", peaks.len());
+
+    // --- 3. Runner trace -> roofline attribution + critical path.
+    let tracer = Tracer::ring(1 << 16);
+    let platform_cfg = PlatformConfig::paper_table1();
+    let runner = Runner::new(platform_cfg.clone()).with_tracer(tracer.clone());
+    let run = runner.run(&Platform::Siph2p5D, &zoo::resnet50())?;
+    let run_events = tracer.drain();
+    let ceilings = Ceilings::of(&platform_cfg, Platform::Siph2p5D);
+    let roof = Roofline::from_runner_trace(&run_events, ceilings);
+    println!(
+        "roofline: resnet50 on 2.5D-SiPh, {:.3} ms end-to-end, {} ops:",
+        run.total_latency.as_secs_f64() * 1e3,
+        roof.ops.len()
+    );
+    for (bound, n) in roof.bound_histogram() {
+        println!("  {:<10} x{n}", bound.label());
+    }
+    let run_path = critical_path(&run_events);
+    // The runner path runs through the decomposed kernel/link spans,
+    // never the coarse op envelopes.
+    assert!(
+        run_path.segments.iter().all(|s| s.cat != "op"),
+        "op rollups must yield to their decomposition"
+    );
+
+    let exports: Vec<(&str, String)> = serve_exports
+        .into_iter()
+        .chain([
+            ("serve_peaks.txt", series::export(&peaks)),
+            ("runner_roofline.txt", roof.export()),
+            ("runner_critical_path.txt", run_path.export()),
+            (
+                "runner_flamegraph.folded",
+                flame::folded_stacks(&run_events),
+            ),
+        ])
+        .collect();
+    for (name, text) in &exports {
+        let file = out_dir.join(name);
+        std::fs::write(&file, text)?;
+        println!("wrote {} ({} bytes)", file.display(), text.len());
+    }
+
+    // Determinism: a same-seed rerun reproduces every export
+    // byte-for-byte.
+    let (report2, events2) = simulate_traced(&cfg)?;
+    assert_eq!(report, report2, "rerun must be bit-identical");
+    assert_eq!(
+        critical_path(&events2).export(),
+        critical_path(&events).export(),
+        "critical-path export must be byte-identical across reruns"
+    );
+    assert_eq!(
+        folded_stacks(&events2),
+        folded_stacks(&events),
+        "flamegraph export must be byte-identical across reruns"
+    );
+
+    println!("determinism: profiled reports matched unprofiled baselines bitwise.");
+    Ok(())
+}

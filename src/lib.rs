@@ -24,6 +24,10 @@
 //! * [`metrics`] — windowed time-series metrics on the virtual clock:
 //!   gauges, monotone counters, histograms, with byte-deterministic
 //!   Prometheus-text and JSON-lines exports
+//! * [`prof`] — the explanation layer over trace events and metric
+//!   series: critical paths with slack, roofline bound attribution,
+//!   per-request latency waterfalls, flamegraph export, and the
+//!   perf-snapshot differ behind `lumos-bench --diff`
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ pub use lumos_metrics as metrics;
 pub use lumos_noc as noc;
 pub use lumos_phnet as phnet;
 pub use lumos_photonics as photonics;
+pub use lumos_prof as prof;
 pub use lumos_serve as serve;
 pub use lumos_sim as sim;
 pub use lumos_trace as trace;
@@ -68,6 +73,7 @@ pub mod prelude {
     pub use lumos_metrics::{
         export_jsonl, export_prometheus, MetricsConfig, MetricsRegistry, MetricsSnapshot,
     };
+    pub use lumos_prof::{critical_path, folded_stacks, waterfalls, Ceilings, Roofline};
     pub use lumos_serve::{
         simulate, simulate_metered, simulate_traced, ServeConfig, ServeReport, ServedModel,
     };
