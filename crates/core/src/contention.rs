@@ -45,6 +45,11 @@ pub struct ContentionModel {
     unit_share: [f64; 4],
     /// Link-bandwidth allocation (interposer + memory).
     bandwidth_share: f64,
+    /// Flow-level bottleneck attribution: the label of the link that
+    /// froze this stream's allocation and the absolute throughput it
+    /// granted, in Gb/s. `None` under the uniform model. Metadata
+    /// only — never perturbs the simulated numbers.
+    bottleneck: Option<(String, f64)>,
 }
 
 impl ContentionModel {
@@ -58,6 +63,7 @@ impl ContentionModel {
         ContentionModel {
             unit_share: [share; 4],
             bandwidth_share: share,
+            bottleneck: None,
         }
     }
 
@@ -84,6 +90,17 @@ impl ContentionModel {
         self
     }
 
+    /// Attaches flow-level bottleneck attribution: the label of the
+    /// link that froze this stream's max-min allocation (from
+    /// [`crate::flow::max_min_shares`]) and the absolute throughput it
+    /// granted, in Gb/s. Reported through trace span args and the
+    /// `runner_bottleneck_gbps` metrics gauge; ignored by
+    /// [`ContentionModel::validate`] and the simulated numbers.
+    pub fn with_bottleneck(mut self, link: impl Into<String>, allocated_gbps: f64) -> Self {
+        self.bottleneck = Some((link.into(), allocated_gbps));
+        self
+    }
+
     /// The unit allocation of `class`.
     pub fn unit_share(&self, class: MacClass) -> f64 {
         self.unit_share[class.index()]
@@ -92,6 +109,12 @@ impl ContentionModel {
     /// The link-bandwidth allocation.
     pub fn bandwidth_share(&self) -> f64 {
         self.bandwidth_share
+    }
+
+    /// The flow-level bottleneck attribution, if attached: the
+    /// freezing link's label and the allocated throughput in Gb/s.
+    pub fn bottleneck(&self) -> Option<(&str, f64)> {
+        self.bottleneck.as_ref().map(|(l, g)| (l.as_str(), *g))
     }
 
     /// Whether every share is exactly 1 (the single-tenant case).

@@ -10,6 +10,7 @@
 //! * [`config`] — Table 1 (chiplet classes, MAC counts, gateways)
 //! * [`calibration`] — every device constant, with provenance
 //! * [`contention`] — multi-tenant resource shares (the `lumos_serve` hook)
+//! * [`flow`] — topology-aware max-min fair link contention
 //! * [`mac`] — broadcast-and-weight photonic MAC units (Fig. 4)
 //! * [`mapper`] — layer → chiplet-class placement
 //! * [`dse`] — design-space exploration (open challenge 3)
@@ -45,6 +46,7 @@ pub mod config;
 pub mod contention;
 pub mod dse;
 pub mod error;
+pub mod flow;
 pub mod mac;
 pub mod mapper;
 pub mod platform;
@@ -56,6 +58,7 @@ pub use calibration::Calibration;
 pub use config::{MacClass, PlatformConfig};
 pub use contention::ContentionModel;
 pub use error::CoreError;
+pub use flow::{max_min_shares, FlowAllocation, FlowRoute, FlowTopology};
 pub use platform::Platform;
 pub use report::{summarize, EnergyBreakdown, LayerReport, PlatformSummary, RunReport};
 pub use runner::Runner;

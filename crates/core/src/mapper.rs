@@ -57,6 +57,94 @@ pub struct Placement {
     pub shares: Vec<PlacementShare>,
 }
 
+/// Restricts which chiplets a placement may use, per MAC class.
+///
+/// The default ([`PlacementPolicy::unrestricted`]) places every class
+/// on all of its chiplets — [`place`] semantics, bit for bit. Pinning
+/// a class to a chiplet subset ([`PlacementPolicy::pin`]) shrinks that
+/// class's unit pool proportionally, which is what lets the flow-level
+/// contention model ask placement questions ("both streams on one
+/// conv5 chiplet" vs "spread across the interposer") the uniform
+/// derate provably cannot distinguish.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPolicy {
+    /// Per-class chiplet pins; classes absent here are unrestricted.
+    pins: Vec<(MacClass, Vec<usize>)>,
+}
+
+impl PlacementPolicy {
+    /// No restrictions: every class uses all of its chiplets.
+    pub fn unrestricted() -> Self {
+        Self::default()
+    }
+
+    /// Pins `class` to exactly `chiplets` (global chiplet ids, sorted
+    /// and deduplicated). Re-pinning a class replaces the earlier pin.
+    pub fn pin(mut self, class: MacClass, chiplets: Vec<usize>) -> Self {
+        let mut chiplets = chiplets;
+        chiplets.sort_unstable();
+        chiplets.dedup();
+        self.pins.retain(|(c, _)| *c != class);
+        self.pins.push((class, chiplets));
+        self
+    }
+
+    /// Whether no class is pinned (the [`place`] fast path).
+    pub fn is_unrestricted(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// The chiplets `class` may use under this policy.
+    pub fn chiplets_for(&self, cfg: &PlatformConfig, class: MacClass) -> Vec<usize> {
+        match self.pins.iter().find(|(c, _)| *c == class) {
+            Some((_, pinned)) => pinned.clone(),
+            None => cfg.chiplet_ids_of(class),
+        }
+    }
+
+    /// The unit pool `class` may use: its per-chiplet unit count times
+    /// the allowed chiplet count.
+    pub fn units_for(&self, cfg: &PlatformConfig, class: MacClass) -> usize {
+        self.chiplets_for(cfg, class).len() * cfg.class(class).macs_per_chiplet
+    }
+
+    /// Checks every pin names at least one chiplet and only chiplets
+    /// of the pinned class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] naming the first bad pin.
+    pub fn validate(&self, cfg: &PlatformConfig) -> Result<(), CoreError> {
+        let chiplets = cfg.chiplets();
+        for (class, pinned) in &self.pins {
+            if pinned.is_empty() {
+                return Err(CoreError::BadConfig {
+                    reason: format!("{class:?} pinned to zero chiplets"),
+                });
+            }
+            for &id in pinned {
+                match chiplets.iter().find(|c| c.id == id) {
+                    None => {
+                        return Err(CoreError::BadConfig {
+                            reason: format!("{class:?} pinned to unknown chiplet {id}"),
+                        })
+                    }
+                    Some(info) if info.class != *class => {
+                        return Err(CoreError::BadConfig {
+                            reason: format!(
+                                "{class:?} pinned to chiplet {id}, which hosts {:?}",
+                                info.class
+                            ),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Chooses the affinity MAC class for a workload.
 ///
 /// Batched GEMMs and the elementwise softmax/norm passes report
@@ -100,7 +188,11 @@ fn passes_per_dot(workload: &LayerWorkload, class: MacClass) -> u64 {
 /// at the GEMM's reduction length, so all shares finish together.
 /// Rounding leftovers go to the highest-throughput classes; classes
 /// rounding to zero dots are dropped from the placement.
-fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementShare> {
+fn gemm_shares(
+    cfg: &PlatformConfig,
+    workload: &LayerWorkload,
+    policy: &PlacementPolicy,
+) -> Vec<PlacementShare> {
     let dots = workload.dot_products;
     let all = MacClass::all();
     if dots == 0 {
@@ -108,15 +200,15 @@ fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementS
         // runner shards weight streams over the placement's chiplets).
         return vec![PlacementShare {
             class: MacClass::Dense100,
-            chiplets: cfg.chiplet_ids_of(MacClass::Dense100),
-            units: cfg.class(MacClass::Dense100).total_units(),
+            chiplets: policy.chiplets_for(cfg, MacClass::Dense100),
+            units: policy.units_for(cfg, MacClass::Dense100),
             dots: 0,
             passes: 0,
         }];
     }
     let rates: Vec<f64> = all
         .iter()
-        .map(|&c| cfg.class(c).total_units() as f64 / passes_per_dot(workload, c) as f64)
+        .map(|&c| policy.units_for(cfg, c) as f64 / passes_per_dot(workload, c) as f64)
         .collect();
     let total_rate: f64 = rates.iter().sum();
 
@@ -146,8 +238,8 @@ fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementS
         .filter(|&(_, dots)| dots > 0)
         .map(|(&class, dots)| PlacementShare {
             class,
-            chiplets: cfg.chiplet_ids_of(class),
-            units: cfg.class(class).total_units(),
+            chiplets: policy.chiplets_for(cfg, class),
+            units: policy.units_for(cfg, class),
             dots,
             passes: dots * passes_per_dot(workload, class),
         })
@@ -179,15 +271,34 @@ fn gemm_shares(cfg: &PlatformConfig, workload: &LayerWorkload) -> Vec<PlacementS
 /// # Ok::<(), lumos_core::error::CoreError>(())
 /// ```
 pub fn place(cfg: &PlatformConfig, workload: &LayerWorkload) -> Result<Placement, CoreError> {
+    place_with(cfg, workload, &PlacementPolicy::unrestricted())
+}
+
+/// Maps a workload onto the platform under a [`PlacementPolicy`].
+///
+/// With an unrestricted policy this is [`place`], bit for bit. Pinned
+/// classes keep the same chunking rules but draw on the pinned
+/// chiplets' (proportionally smaller) unit pool.
+///
+/// # Errors
+///
+/// Propagates [`class_for`] failures and rejects invalid pins via
+/// [`PlacementPolicy::validate`].
+pub fn place_with(
+    cfg: &PlatformConfig,
+    workload: &LayerWorkload,
+    policy: &PlacementPolicy,
+) -> Result<Placement, CoreError> {
+    policy.validate(cfg)?;
     let affinity = class_for(workload)?;
     let shares = if matches!(workload.class, KernelClass::Gemm { .. }) {
-        gemm_shares(cfg, workload)
+        gemm_shares(cfg, workload, policy)
     } else {
         let dots = workload.dot_products;
         vec![PlacementShare {
             class: affinity,
-            chiplets: cfg.chiplet_ids_of(affinity),
-            units: cfg.class(affinity).total_units(),
+            chiplets: policy.chiplets_for(cfg, affinity),
+            units: policy.units_for(cfg, affinity),
             dots,
             passes: workload.passes_on(affinity.lanes() as u64),
         }]
@@ -386,6 +497,59 @@ mod tests {
         w.macs = 0;
         let p = place(&cfg, &w).expect("workload places");
         assert_eq!(p.shares.iter().map(|s| s.dots).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn unrestricted_policy_is_place_exactly() {
+        let cfg = PlatformConfig::paper_table1();
+        let policy = PlacementPolicy::unrestricted();
+        for model in [zoo::lenet5(), zoo::resnet50()] {
+            for w in workloads_of(model) {
+                let a = place(&cfg, &w).expect("places");
+                let b = place_with(&cfg, &w, &policy).expect("places with policy");
+                assert_eq!(a, b, "{}", w.name);
+            }
+        }
+        let w = gemm_workload(128, 3072, 768, 8);
+        assert_eq!(
+            place(&cfg, &w).expect("places"),
+            place_with(&cfg, &w, &policy).expect("places with policy")
+        );
+    }
+
+    #[test]
+    fn pinned_class_shrinks_its_unit_pool() {
+        let cfg = PlatformConfig::paper_table1();
+        // Conv5 chiplets are global ids 3 and 4 (port order).
+        let policy = PlacementPolicy::unrestricted().pin(MacClass::Conv5, vec![3]);
+        let work = workloads_of(zoo::lenet5());
+        let full = place(&cfg, &work[1]).expect("places");
+        let pinned = place_with(&cfg, &work[1], &policy).expect("places pinned");
+        assert_eq!(pinned.class, MacClass::Conv5);
+        assert_eq!(pinned.chiplets, vec![3]);
+        assert_eq!(
+            pinned.units * 2,
+            full.units,
+            "half the chiplets, half the pool"
+        );
+        assert_eq!(
+            pinned.passes, full.passes,
+            "chunking is placement-independent"
+        );
+    }
+
+    #[test]
+    fn bad_pins_rejected() {
+        let cfg = PlatformConfig::paper_table1();
+        let empty = PlacementPolicy::unrestricted().pin(MacClass::Conv5, vec![]);
+        assert!(empty.validate(&cfg).is_err());
+        let unknown = PlacementPolicy::unrestricted().pin(MacClass::Conv5, vec![42]);
+        assert!(unknown.validate(&cfg).is_err());
+        // Chiplet 0 hosts Dense100, not Conv5.
+        let wrong = PlacementPolicy::unrestricted().pin(MacClass::Conv5, vec![0]);
+        assert!(wrong.validate(&cfg).is_err());
+        let w = workloads_of(zoo::lenet5()).remove(1);
+        assert!(place_with(&cfg, &w, &wrong).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::config::{MacClass, PlatformConfig};
 use crate::contention::ContentionModel;
 use crate::error::CoreError;
 use crate::mac::MacUnit;
-use crate::mapper::place;
+use crate::mapper::{place_with, PlacementPolicy};
 use crate::platform::Platform;
 use crate::report::{EnergyBreakdown, LayerReport, RunReport};
 
@@ -51,6 +51,7 @@ pub struct Runner {
     cfg: PlatformConfig,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    placement: PlacementPolicy,
 }
 
 // Trace lanes (tids) of one platform run: the rolled-up per-layer op on
@@ -163,7 +164,25 @@ impl Runner {
             cfg,
             tracer: Tracer::off(),
             metrics: MetricsRegistry::off(),
+            placement: PlacementPolicy::unrestricted(),
         }
+    }
+
+    /// Attaches a [`PlacementPolicy`]: every subsequent run places
+    /// pinned classes on their pinned chiplet subsets (and their
+    /// proportionally smaller unit pools). With
+    /// [`PlacementPolicy::unrestricted`] (the [`Runner::new`] default)
+    /// runs are bit-identical to the unpoliced runner. Pair with
+    /// [`crate::flow::FlowTopology::route_for_chiplets`] to ask
+    /// placement questions under flow-level contention.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> &PlacementPolicy {
+        &self.placement
     }
 
     /// Attaches a [`Tracer`]: every subsequent run emits per-layer op
@@ -335,7 +354,7 @@ impl Runner {
         let mut prev_start: Option<SimTime> = None;
 
         for w in workloads {
-            let placement = place(&self.cfg, w)?;
+            let placement = place_with(&self.cfg, w, &self.placement)?;
             // Per-share compute: every class runs its passes in
             // parallel; the layer's compute span is the slowest share
             // (the throughput-proportional GEMM split keeps the shares
@@ -512,6 +531,17 @@ impl Runner {
 
             if self.tracer.enabled() {
                 let kernel = kernel_label(w.class);
+                // Flow-level attribution: when the contention model
+                // carries a modeled bottleneck, the fabric spans name
+                // the link that froze this stream's allocation.
+                let net_args = |dir: &'static str| -> Vec<(&'static str, ArgValue)> {
+                    let mut args = vec![("dir", ArgValue::from(dir))];
+                    if let Some((link, gbps)) = contention.bottleneck() {
+                        args.push(("bottleneck", ArgValue::from(link)));
+                        args.push(("alloc_gbps", ArgValue::F64(gbps)));
+                    }
+                    args
+                };
                 self.tracer.span(
                     trace_pid,
                     TID_OP,
@@ -551,7 +581,7 @@ impl Runner {
                     &w.name,
                     weight_issue.as_ps(),
                     net_in_fin.saturating_sub(weight_issue).as_ps(),
-                    vec![("dir", ArgValue::from("in"))],
+                    net_args("in"),
                 );
                 self.tracer.span(
                     trace_pid,
@@ -569,7 +599,7 @@ impl Runner {
                     &w.name,
                     compute_fin.as_ps(),
                     net_out_fin.saturating_sub(compute_fin).as_ps(),
-                    vec![("dir", ArgValue::from("out"))],
+                    net_args("out"),
                 );
             }
 
@@ -685,6 +715,14 @@ impl Runner {
                     "runner_energy_total_j{{platform=\"{p}\",component=\"{component}\"}}"
                 ));
                 m.reg.add(id, end_ps, value);
+            }
+            // Flow-level attribution: the modeled bottleneck link and
+            // the absolute throughput this stream was allocated there.
+            if let Some((link, gbps)) = contention.bottleneck() {
+                let id = m.reg.gauge(&format!(
+                    "runner_bottleneck_gbps{{platform=\"{p}\",link=\"{link}\"}}"
+                ));
+                m.reg.set(id, end_ps, gbps);
             }
         }
 

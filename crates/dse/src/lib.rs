@@ -65,6 +65,6 @@ pub use job::{
 };
 pub use pareto::{pareto_front, pareto_front_by, refine_axes};
 pub use point::{
-    BatchPolicy, DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy, SharePolicy,
-    XformerAxes,
+    BatchPolicy, ContentionKind, DecodeAxes, DseAxes, DseMetrics, DsePoint, ServeAxes, ServePolicy,
+    SharePolicy, XformerAxes,
 };

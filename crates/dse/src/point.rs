@@ -526,6 +526,57 @@ impl std::fmt::Display for BatchPolicy {
     }
 }
 
+/// How `lumos_serve` models the bandwidth slice each resident stream
+/// gets: the legacy platform-wide uniform derate, or topology-aware
+/// flow-level max-min fair sharing over the platform's actual link set
+/// (`lumos_core::flow`).
+///
+/// Pure data here (like [`ServePolicy`] and [`SharePolicy`]) so sweep
+/// axes and cache fingerprints can name a contention model without
+/// pulling in the serving machinery; `lumos_serve` implements the
+/// actual water-filling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContentionKind {
+    /// Every resident stream gets `1/k` of every link — the legacy
+    /// platform-wide average.
+    #[default]
+    Uniform,
+    /// Per-stream max-min fair shares over the links each stream's
+    /// route actually crosses. Degenerates to [`ContentionKind::Uniform`]
+    /// bit-for-bit when all routes share every bottleneck (and when a
+    /// stream contends with nobody, to the uncontended runner).
+    FlowLevel,
+}
+
+impl ContentionKind {
+    /// All kinds, in sweep order.
+    pub fn all() -> [ContentionKind; 2] {
+        [ContentionKind::Uniform, ContentionKind::FlowLevel]
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentionKind::Uniform => "uniform",
+            ContentionKind::FlowLevel => "flow-level",
+        }
+    }
+
+    /// Stable discriminant for cache fingerprints (never reorder).
+    pub fn tag(self) -> u64 {
+        match self {
+            ContentionKind::Uniform => 0,
+            ContentionKind::FlowLevel => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ContentionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The serving sweep grid: offered-load multipliers × scheduling
 /// policies.
 ///

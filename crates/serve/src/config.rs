@@ -4,7 +4,7 @@
 use lumos_core::{Platform, PlatformConfig};
 use lumos_dnn::workload::Precision;
 use lumos_dnn::{extract_workloads, LayerWorkload, Model};
-use lumos_dse::{BatchPolicy, ServePolicy, SharePolicy};
+use lumos_dse::{BatchPolicy, ContentionKind, ServePolicy, SharePolicy};
 use lumos_xformer::TransformerConfig;
 
 use crate::error::ServeError;
@@ -316,6 +316,15 @@ pub struct ServeConfig {
     /// `Continuous { max_batch: 1 }` — reproduce the unbatched
     /// simulator bit-for-bit.
     pub batching: BatchPolicy,
+    /// How bandwidth contention between resident streams is modeled:
+    /// the legacy platform-wide uniform derate
+    /// ([`ContentionKind::Uniform`], the default), or topology-aware
+    /// flow-level max-min fair sharing ([`ContentionKind::FlowLevel`])
+    /// over the platform's actual link set (`lumos_core::flow`). Under
+    /// uniform sharing a degenerate flow topology — all routes crossing
+    /// every bottleneck — is what the flow model reduces to, so
+    /// `FlowLevel` on such platforms reproduces `Uniform` bit-for-bit.
+    pub contention: ContentionKind,
     /// Simulated horizon, seconds: arrivals are generated over
     /// `[0, duration_s)` and the simulation hard-stops at the horizon
     /// (requests still queued or in flight count as arrived, not
@@ -363,6 +372,7 @@ impl ServeConfig {
             policy: ServePolicy::Fifo,
             sharing: SharePolicy::Uniform,
             batching: BatchPolicy::PerStream,
+            contention: ContentionKind::Uniform,
             duration_s: 1.0,
             seed: 42,
             max_concurrency: 4,
@@ -401,6 +411,12 @@ impl ServeConfig {
     /// Sets the generator-batching discipline.
     pub fn with_batching(mut self, batching: BatchPolicy) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Sets the bandwidth-contention model.
+    pub fn with_contention(mut self, contention: ContentionKind) -> Self {
+        self.contention = contention;
         self
     }
 
@@ -484,6 +500,26 @@ impl ServeConfig {
             return Err(ServeError::BadConfig {
                 reason: "continuous batching needs max_batch of at least 1".into(),
             });
+        }
+        if self.contention == ContentionKind::FlowLevel {
+            // Flow-level shares are defined per execution stream;
+            // coalesced decode ticks and pressure-weighted splits have
+            // no per-stream route attribution yet.
+            if self.batching.is_continuous() {
+                return Err(ServeError::BadConfig {
+                    reason: "flow-level contention requires per-stream batching".into(),
+                });
+            }
+            if self.sharing != SharePolicy::Uniform {
+                return Err(ServeError::BadConfig {
+                    reason: "flow-level contention requires uniform sharing".into(),
+                });
+            }
+            // Build and check the link set now, so a corrupt platform
+            // fails here with a CoreError instead of panicking on a
+            // degenerate share mid-simulation.
+            lumos_core::flow::FlowTopology::for_platform(&self.platform_cfg, self.platform)?
+                .validate()?;
         }
         Ok(())
     }

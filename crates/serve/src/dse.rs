@@ -33,12 +33,13 @@ use crate::sim::{simulate, simulate_with_profiles};
 /// simulation semantics change so persisted caches from older runs are
 /// invalidated wholesale. (v2: generator stages + processor-sharing
 /// discipline entered the key set; v3: the continuous-batching policy
-/// and each model's re-lowerable generator recipe entered it.)
+/// and each model's re-lowerable generator recipe entered it; v4: the
+/// bandwidth-contention kind — uniform vs flow-level — entered it.)
 ///
 /// Public so `lumos-bench` can stamp snapshot headers with the key
 /// schemas its numbers were produced under — the `--diff` gate refuses
 /// cross-schema comparisons.
-pub const SERVE_KEY_SCHEMA: u64 = 3;
+pub const SERVE_KEY_SCHEMA: u64 = 4;
 
 /// Stable fingerprint of a model mix: every model's name, lowered
 /// workload stream, decode-step streams, generator recipe (when one is
@@ -84,6 +85,7 @@ pub fn serve_key(cfg: &ServeConfig) -> u64 {
     h.write_u64(cfg.policy.tag());
     h.write_u64(cfg.sharing.tag());
     h.write_u64(cfg.batching.tag());
+    h.write_u64(cfg.contention.tag());
     h.write_f64(cfg.duration_s);
     h.write_u64(cfg.seed);
     h.write_usize(cfg.max_concurrency);
@@ -275,6 +277,13 @@ mod tests {
         assert_ne!(
             serve_key(&cfg.clone().with_batching(BatchPolicy::continuous(2))),
             serve_key(&cfg.clone().with_batching(BatchPolicy::continuous(4)))
+        );
+        // The contention model changes the bandwidth shares, so it
+        // must rotate the key.
+        use lumos_dse::ContentionKind;
+        assert_ne!(
+            serve_key(&cfg),
+            serve_key(&cfg.clone().with_contention(ContentionKind::FlowLevel))
         );
         // Two mixes with identical lowered stages but different
         // re-lowering recipes batch differently: the recorded

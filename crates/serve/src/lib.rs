@@ -103,4 +103,4 @@ pub use sim::{
 // The sweep-axes vocabulary lives in `lumos_dse` (pure data, shared
 // with fingerprints and grids); re-export it so serving callers need
 // one import.
-pub use lumos_dse::{BatchPolicy, ServeAxes, ServePolicy, SharePolicy};
+pub use lumos_dse::{BatchPolicy, ContentionKind, ServeAxes, ServePolicy, SharePolicy};

@@ -27,9 +27,11 @@
 //! [`SharePolicy::SloPressure`]: lumos_dse::SharePolicy::SloPressure
 
 use lumos_core::contention::ContentionModel;
+use lumos_core::flow::{FlowRoute, FlowTopology};
 use lumos_core::mac::MacUnit;
 use lumos_core::mapper::place;
 use lumos_core::{MacClass, Platform, Runner};
+use lumos_dse::ContentionKind;
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
@@ -54,6 +56,18 @@ pub struct ModelProfile {
     /// Empty for single-pass models and for profiles built without
     /// continuous batching.
     pub batched: Vec<Vec<Vec<f64>>>,
+    /// Flow-level contention planes:
+    /// `flow_stages[s][k-1][j-1]` is the latency of stage `s` at
+    /// compute share `1/k` (its slice of the MAC units with `k`
+    /// residents) and bandwidth share `1/j` (what max-min water-filling
+    /// allocated it on its bottleneck link), seconds. The diagonal
+    /// `j = k` is the uniform column of [`stages`](Self::stages),
+    /// copied bit-for-bit (identical [`ContentionModel`]); the event
+    /// loop looks up off-diagonal max-min shares through the same
+    /// share-space interpolation as weighted sharing. Empty unless the
+    /// profile was built with
+    /// [`ContentionKind::FlowLevel`].
+    pub flow_stages: Vec<Vec<Vec<f64>>>,
     /// Energy of one isolated request across all stages, joules
     /// (time-sharing conserves the dynamic work; static power is
     /// accounted platform-wide).
@@ -123,6 +137,28 @@ impl ModelProfile {
     /// (0 when the profile was built without them).
     pub fn max_batch(&self) -> usize {
         self.batched.len()
+    }
+
+    /// Contention depth every stage's flow plane is tabulated for (0
+    /// when the profile was built without flow-level contention).
+    pub fn flow_depth(&self) -> usize {
+        self.flow_stages.iter().map(|s| s.len()).min().unwrap_or(0)
+    }
+
+    /// Flow-level service time of stage `stage` as one of `k` resident
+    /// streams holding max-min bandwidth share `share` on its route:
+    /// the `k`-th flow plane row looked up at `share` on the bandwidth
+    /// axis. Uniform shares (`share = 1/j` for tabulated `j`) hit the
+    /// table bit-for-bit — in particular `share = 1/k` returns the
+    /// uniform [`stage_service`](Self::stage_service) value exactly,
+    /// and `share = 1` the stream's full-bandwidth point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage`/`k` exceed the tabulated planes or `share` is
+    /// not in `(0, 1]`.
+    pub fn flow_stage_service(&self, stage: usize, k: usize, share: f64) -> f64 {
+        table_service_at_share(&self.flow_stages[stage][k - 1], share)
     }
 
     /// Contention depth every decode stage of batch plane `b` is
@@ -199,6 +235,20 @@ fn table_service_at_share(table: &[f64], share: f64) -> f64 {
     t_lo + (v - lo as f64) * (t_hi - t_lo)
 }
 
+/// The platform's link set plus each model's static route over it —
+/// what the flow-level event loop feeds to
+/// [`max_min_shares`](lumos_core::flow::max_min_shares) whenever the
+/// resident set changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowModel {
+    /// The platform's enumerated link set.
+    pub topology: FlowTopology,
+    /// `routes[m]`: the links model `m`'s streams cross — the union of
+    /// its placements' chiplets across every stage, routed through
+    /// [`FlowTopology::route_for_chiplets`]. Mix order.
+    pub routes: Vec<FlowRoute>,
+}
+
 /// The mix's profiles plus the platform-wide capacity denominators.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceProfiles {
@@ -208,6 +258,10 @@ pub struct ServiceProfiles {
     /// monolithic unit scaling applied when that platform is profiled —
     /// the denominator of utilization.
     pub class_units: [f64; 4],
+    /// The flow-level topology and per-model routes; `None` unless the
+    /// profiles were built with
+    /// [`ContentionKind::FlowLevel`].
+    pub flow: Option<FlowModel>,
 }
 
 /// Builds the service profiles for `cfg` by running every stage of
@@ -231,12 +285,21 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
         }
     };
 
+    let flow_topology = if cfg.contention == ContentionKind::FlowLevel {
+        Some(FlowTopology::for_platform(&cfg.platform_cfg, cfg.platform)?)
+    } else {
+        None
+    };
+    let mut flow_routes = Vec::new();
+
     let mut models = Vec::with_capacity(cfg.models.len());
     for m in &cfg.models {
         let mut stages = Vec::with_capacity(m.n_stages());
+        let mut flow_stages = Vec::new();
         let mut energy_j = 0.0;
         let mut bits = 0u64;
         let mut class_unit_seconds = [0.0f64; 4];
+        let mut model_chiplets: Vec<usize> = Vec::new();
         for (si, stage) in m.stages().enumerate() {
             let label = if si == 0 {
                 m.name.clone()
@@ -257,6 +320,35 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
                 }
                 service_s.push(report.total_latency.as_secs_f64());
             }
+
+            // Flow-level plane: compute share 1/k × bandwidth share
+            // 1/j. The diagonal j = k is the uniform column above,
+            // copied bit-for-bit (identical ContentionModel), which is
+            // what makes the degenerate all-bottlenecks-shared case
+            // reproduce the uniform simulator exactly.
+            if flow_topology.is_some() {
+                let mut plane = Vec::with_capacity(cfg.max_concurrency);
+                for k in 1..=cfg.max_concurrency {
+                    let mut col = Vec::with_capacity(cfg.max_concurrency);
+                    for j in 1..=cfg.max_concurrency {
+                        if j == k {
+                            col.push(service_s[k - 1]);
+                        } else {
+                            let contention = ContentionModel::uniform(1.0 / k as f64)
+                                .with_bandwidth_share(1.0 / j as f64);
+                            let report = runner.run_workloads_scaled(
+                                &cfg.platform,
+                                &label,
+                                stage,
+                                &contention,
+                            )?;
+                            col.push(report.total_latency.as_secs_f64());
+                        }
+                    }
+                    plane.push(col);
+                }
+                flow_stages.push(plane);
+            }
             stages.push(service_s);
 
             for w in stage {
@@ -268,7 +360,13 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
                     class_unit_seconds[share.class.index()] +=
                         share.passes as f64 / unit.passes_per_second();
                 }
+                if flow_topology.is_some() {
+                    model_chiplets.extend(placement.chiplets.iter().copied());
+                }
             }
+        }
+        if let Some(topo) = &flow_topology {
+            flow_routes.push(topo.route_for_chiplets(&model_chiplets));
         }
 
         // Continuous-batching decode planes. Plane 1 is the decode
@@ -313,6 +411,7 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
         models.push(ModelProfile {
             name: m.name.clone(),
             stages,
+            flow_stages,
             batched,
             energy_j,
             bits,
@@ -328,6 +427,10 @@ pub fn build_profiles(cfg: &ServeConfig) -> Result<ServiceProfiles, ServeError> 
     Ok(ServiceProfiles {
         models,
         class_units,
+        flow: flow_topology.map(|topology| FlowModel {
+            topology,
+            routes: flow_routes,
+        }),
     })
 }
 

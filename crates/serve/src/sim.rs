@@ -80,7 +80,8 @@
 
 use std::collections::VecDeque;
 
-use lumos_dse::{ServePolicy, SharePolicy};
+use lumos_core::flow::{max_min_shares, FlowRoute};
+use lumos_dse::{ContentionKind, ServePolicy, SharePolicy};
 use lumos_metrics::{MetricId, MetricsRegistry, MetricsSnapshot};
 use lumos_sim::SimRng;
 use lumos_trace::{ps_from_secs as ps, ArgValue, TraceEvent, Tracer};
@@ -497,6 +498,31 @@ fn stage_services(
     resident: &[Resident],
     now: f64,
 ) -> Vec<f64> {
+    if cfg.contention == ContentionKind::FlowLevel {
+        // Topology-aware bandwidth shares: water-fill the resident
+        // routes over the platform's link set, then look each stream's
+        // max-min share up in its flow plane at compute level `k`. A
+        // resident whose route shares no bottleneck gets share 1.0 (the
+        // uncontended column); when every route crosses every
+        // bottleneck the shares are exactly `1/k` and the lookup
+        // returns the uniform table bit-for-bit.
+        let flow = profiles
+            .flow
+            .as_ref()
+            .expect("flow-level validation guarantees a flow model");
+        let k = resident.len();
+        let routes: Vec<FlowRoute> = resident
+            .iter()
+            .map(|r| flow.routes[r.model].clone())
+            .collect();
+        let alloc = max_min_shares(&flow.topology, &routes)
+            .expect("topology and routes validated at config time");
+        return resident
+            .iter()
+            .enumerate()
+            .map(|(i, r)| profiles.models[r.model].flow_stage_service(r.stage, k, alloc.share(i)))
+            .collect();
+    }
     match cfg.sharing {
         SharePolicy::Uniform => {
             let k = resident.len();
@@ -832,6 +858,53 @@ fn simulate_with_profiles_inner(
                     });
                 }
             }
+        }
+    }
+    if cfg.contention == ContentionKind::FlowLevel {
+        let flow = profiles
+            .flow
+            .as_ref()
+            .ok_or_else(|| ServeError::BadConfig {
+                reason: "flow-level contention needs profiles built with it \
+                     (no flow topology/routes tabulated)"
+                    .into(),
+            })?;
+        if flow.routes.len() != cfg.models.len() {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "flow model covers {} routes, mix has {} models",
+                    flow.routes.len(),
+                    cfg.models.len()
+                ),
+            });
+        }
+        if let Some(shallow) = profiles
+            .models
+            .iter()
+            .find(|m| m.flow_depth() < cfg.max_concurrency)
+        {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "profile for {} tabulates {} flow contention levels, need {}",
+                    shallow.name,
+                    shallow.flow_depth(),
+                    cfg.max_concurrency
+                ),
+            });
+        }
+        if let Some(p) = profiles
+            .models
+            .iter()
+            .find(|p| p.flow_stages.len() != p.n_stages())
+        {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "profile for {} tabulates {} flow stages, model has {}",
+                    p.name,
+                    p.flow_stages.len(),
+                    p.n_stages()
+                ),
+            });
         }
     }
     let mut tr = ServeTrace::new(cfg, tracer);

@@ -63,12 +63,12 @@ pub use lumos_xformer as xformer;
 pub mod prelude {
     pub use lumos_core::{
         calibration::Calibration, config::PlatformConfig, contention::ContentionModel,
-        platform::Platform, runner::Runner,
+        flow::FlowTopology, mapper::PlacementPolicy, platform::Platform, runner::Runner,
     };
     pub use lumos_dnn::zoo;
     pub use lumos_dse::{
-        BatchPolicy, DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy, SharePolicy, SweepJob,
-        XformerAxes,
+        BatchPolicy, ContentionKind, DecodeAxes, DseAxes, MemoCache, ServeAxes, ServePolicy,
+        SharePolicy, SweepJob, XformerAxes,
     };
     pub use lumos_metrics::{
         export_jsonl, export_prometheus, MetricsConfig, MetricsRegistry, MetricsSnapshot,
